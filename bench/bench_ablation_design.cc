@@ -1,0 +1,78 @@
+// Design-choice ablations beyond the paper's figures (DESIGN.md §7):
+//   (a) cost-model migration/remaster weight ratio w_m / w_r — how strongly
+//       the plan generator avoids full copies;
+//   (b) planner interval — adaptation freshness vs. churn;
+//   (c) replica budget (max_replicas) — placement freedom vs. sync cost.
+// All on skewed YCSB at 80% cross-partition ratio with standard Lion.
+#include "bench_common.h"
+
+namespace lion {
+namespace {
+
+ExperimentConfig Base() {
+  ExperimentConfig cfg = bench::EvalConfig("Lion(R)");
+  cfg.workload = "ycsb";
+  cfg.ycsb.cross_ratio = 0.8;
+  cfg.ycsb.skew_factor = 0.8;
+  cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
+  return cfg;
+}
+
+const double kWmOverWr[] = {1.0, 2.0, 5.0, 10.0, 50.0};
+
+void CostWeightRatio(::benchmark::State& state) {
+  ExperimentConfig cfg = Base();
+  cfg.lion.cost.wr = 1.0;
+  cfg.lion.cost.wm = kWmOverWr[state.range(0)];
+  cfg.lion.planner.plan.cost = cfg.lion.cost;
+  bench::RunAndReport(cfg, state);
+}
+
+const int kPlannerMs[] = {100, 250, 500, 1000, 2000};
+
+void PlannerInterval(::benchmark::State& state) {
+  ExperimentConfig cfg = Base();
+  cfg.lion.planner.interval = kPlannerMs[state.range(0)] * kMillisecond;
+  bench::RunAndReport(cfg, state);
+}
+
+const int kMaxReplicas[] = {2, 3, 4};
+
+void ReplicaBudget(::benchmark::State& state) {
+  ExperimentConfig cfg = Base();
+  cfg.cluster.max_replicas = kMaxReplicas[state.range(0)];
+  bench::RunAndReport(cfg, state);
+}
+
+}  // namespace
+}  // namespace lion
+
+int main(int argc, char** argv) {
+  for (int i = 0; i < 5; ++i) {
+    std::string name =
+        "Ablation/wm_over_wr=" + std::to_string((int)lion::kWmOverWr[i]);
+    ::benchmark::RegisterBenchmark(name.c_str(), lion::CostWeightRatio)
+        ->Args({i})
+        ->Iterations(1)
+        ->Unit(::benchmark::kMillisecond);
+  }
+  for (int i = 0; i < 5; ++i) {
+    std::string name =
+        "Ablation/planner_ms=" + std::to_string(lion::kPlannerMs[i]);
+    ::benchmark::RegisterBenchmark(name.c_str(), lion::PlannerInterval)
+        ->Args({i})
+        ->Iterations(1)
+        ->Unit(::benchmark::kMillisecond);
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::string name =
+        "Ablation/max_replicas=" + std::to_string(lion::kMaxReplicas[i]);
+    ::benchmark::RegisterBenchmark(name.c_str(), lion::ReplicaBudget)
+        ->Args({i})
+        ->Iterations(1)
+        ->Unit(::benchmark::kMillisecond);
+  }
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Each binary registers one google-benchmark entry per (protocol, parameter)
+// sweep point; the entry runs a full simulated experiment and reports the
+// paper's metric as counters. Time-series figures additionally print their
+// series as "FigureX: ..." rows.
+//
+// Environment: LION_BENCH_FAST=1 halves warmup/duration for smoke runs.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace lion {
+namespace bench {
+
+inline bool FastMode() {
+  const char* v = std::getenv("LION_BENCH_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+/// The evaluation cluster defaults (Sec. VI-A, scaled per DESIGN.md).
+inline ClusterConfig EvalCluster(int nodes = 4) {
+  ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.workers_per_node = 8;
+  cfg.partitions_per_node = 12;
+  cfg.records_per_partition = 10000;
+  cfg.record_bytes = 1000;
+  cfg.init_replicas = 2;
+  cfg.max_replicas = 4;
+  return cfg;
+}
+
+/// Baseline experiment config shared by the sweeps.
+inline ExperimentConfig EvalConfig(const std::string& protocol, int nodes = 4) {
+  ExperimentConfig cfg;
+  cfg.protocol = protocol;
+  cfg.cluster = EvalCluster(nodes);
+  cfg.warmup = FastMode() ? 500 * kMillisecond : 1 * kSecond;
+  cfg.duration = FastMode() ? 1 * kSecond : 2 * kSecond;
+  cfg.lion.planner.interval = 250 * kMillisecond;
+  cfg.lion.planner.min_history = 64;
+  cfg.predictor.sample_interval = 100 * kMillisecond;
+  cfg.predictor.train_epochs = 5;
+  return cfg;
+}
+
+/// Runs the experiment and exports the headline counters.
+inline ExperimentResult RunAndReport(const ExperimentConfig& cfg,
+                                     ::benchmark::State& state) {
+  ExperimentResult res;
+  for (auto _ : state) {
+    res = RunExperiment(cfg);
+  }
+  state.counters["ktxn_s"] = res.throughput / 1000.0;
+  state.counters["p50_us"] = res.p50_us;
+  state.counters["p95_us"] = res.p95_us;
+  state.counters["dist_pct"] =
+      res.committed > 0
+          ? 100.0 * static_cast<double>(res.distributed) / res.committed
+          : 0.0;
+  return res;
+}
+
+/// Prints one paper-style series (time on the x-axis).
+inline void PrintSeries(const std::string& tag, const ExperimentResult& res) {
+  std::printf("%s t(s)", tag.c_str());
+  for (size_t i = 0; i < res.window_throughput.size(); ++i) {
+    std::printf(" %.1f", ToSeconds(res.window * (i + 1)));
+  }
+  std::printf("\n%s ktxn/s", tag.c_str());
+  for (double v : res.window_throughput) std::printf(" %.1f", v / 1000.0);
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace lion

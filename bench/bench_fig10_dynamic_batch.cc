@@ -1,0 +1,57 @@
+// Figure 10: dynamic workloads with changing hotspots, batch protocols.
+// (a) varying hotspot interval; (b) varying hotspot position (A/B/C/D).
+#include "bench_common.h"
+
+namespace lion {
+namespace {
+
+struct Entry {
+  const char* label;
+  const char* factory;
+};
+const Entry kProtocols[] = {
+    {"Calvin", "Calvin"}, {"Star", "Star"},     {"Aria", "Aria"},
+    {"Lotus", "Lotus"},   {"Hermes", "Hermes"}, {"Lion", "Lion(B)"},
+};
+
+void RunScenario(::benchmark::State& state, const char* workload) {
+  ExperimentConfig cfg = bench::EvalConfig(kProtocols[state.range(0)].factory);
+  cfg.workload = workload;
+  cfg.dynamic_period = bench::FastMode() ? 1 * kSecond : 2500 * kMillisecond;
+  cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
+  int phases = (std::string(workload) == "ycsb-hotspot-interval") ? 3 : 4;
+  cfg.warmup = 0;
+  cfg.duration = 2 * phases * cfg.dynamic_period;
+  ExperimentResult res = bench::RunAndReport(cfg, state);
+  std::string tag = std::string("Fig10/") + workload + "/" +
+                    kProtocols[state.range(0)].label + ":";
+  bench::PrintSeries(tag, res);
+}
+
+void Fig10aInterval(::benchmark::State& state) {
+  RunScenario(state, "ycsb-hotspot-interval");
+}
+void Fig10bPosition(::benchmark::State& state) {
+  RunScenario(state, "ycsb-hotspot-position");
+}
+
+}  // namespace
+}  // namespace lion
+
+int main(int argc, char** argv) {
+  for (int p = 0; p < 6; ++p) {
+    std::string name = std::string("Fig10a/interval/") + lion::kProtocols[p].label;
+    ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig10aInterval)
+        ->Args({p})
+        ->Iterations(1)
+        ->Unit(::benchmark::kMillisecond);
+    name = std::string("Fig10b/position/") + lion::kProtocols[p].label;
+    ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig10bPosition)
+        ->Args({p})
+        ->Iterations(1)
+        ->Unit(::benchmark::kMillisecond);
+  }
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 11: scalability from 4 to 10 executor nodes under 100%
+// cross-partition uniform YCSB. (a) standard approaches; (b) batch-based.
+#include "bench_common.h"
+
+namespace lion {
+namespace {
+
+struct Entry {
+  const char* label;
+  const char* factory;
+  bool batch;
+};
+const Entry kProtocols[] = {
+    {"2PC", "2PC", false},       {"Leap", "Leap", false},
+    {"Clay", "Clay", false},     {"Lion", "Lion", false},
+    {"Calvin", "Calvin", true},  {"Star", "Star", true},
+    {"Aria", "Aria", true},      {"Lotus", "Lotus", true},
+    {"Hermes", "Hermes", true},  {"Lion(B)", "Lion(B)", true},
+};
+const int kNodes[] = {4, 6, 8, 10};
+
+void Fig11(::benchmark::State& state) {
+  const Entry& e = kProtocols[state.range(0)];
+  ExperimentConfig cfg = bench::EvalConfig(e.factory, kNodes[state.range(1)]);
+  cfg.workload = "ycsb";
+  cfg.ycsb.cross_ratio = 1.0;
+  cfg.ycsb.skew_factor = 0.0;
+  cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
+  // Batch protocols need a client window above the worker-capacity ceiling
+  // at 10 nodes (the default 4000 outstanding caps visibility at 400k/s).
+  if (e.batch) cfg.concurrency = 16000;
+  bench::RunAndReport(cfg, state);
+}
+
+}  // namespace
+}  // namespace lion
+
+int main(int argc, char** argv) {
+  for (int p = 0; p < 10; ++p) {
+    for (int n = 0; n < 4; ++n) {
+      const char* fig = lion::kProtocols[p].batch ? "Fig11b" : "Fig11a";
+      std::string name = std::string(fig) + "/" + lion::kProtocols[p].label +
+                         "/nodes=" + std::to_string(lion::kNodes[n]);
+      ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig11)
+          ->Args({p, n})
+          ->Iterations(1)
+          ->Unit(::benchmark::kMillisecond);
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

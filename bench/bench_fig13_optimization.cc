@@ -1,0 +1,72 @@
+// Figure 13: optimization analysis.
+// (a) Impact of pre-replication: Lion with vs without the workload
+//     predictor on a cycling dynamic workload (throughput over time).
+// (b) Impact of batch optimization: non-batch vs batch Lion as the
+//     remastering duration sweeps over {500..3500} us.
+#include "bench_common.h"
+
+namespace lion {
+namespace {
+
+void Fig13aPredictor(::benchmark::State& state) {
+  bool with_predictor = state.range(0) == 1;
+  ExperimentConfig cfg =
+      bench::EvalConfig(with_predictor ? "Lion(RW)" : "Lion(R)");
+  cfg.workload = "ycsb-hotspot-interval";
+  cfg.dynamic_period = bench::FastMode() ? 1 * kSecond : 2 * kSecond;
+  cfg.warmup = 0;
+  cfg.duration = 6 * cfg.dynamic_period;  // two full cycles: pattern repeats
+  cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
+  cfg.predictor.gamma = 0.05;
+  ExperimentResult res = bench::RunAndReport(cfg, state);
+  bench::PrintSeries(with_predictor ? "Fig13a/WithPredictor:"
+                                    : "Fig13a/Baseline:",
+                     res);
+}
+
+const int kRemasterUs[] = {500, 1500, 2000, 3000, 3500};
+
+void Fig13bRemasterSweep(::benchmark::State& state) {
+  bool batch = state.range(0) == 1;
+  ExperimentConfig cfg = bench::EvalConfig(batch ? "Lion(RB)" : "Lion(R)");
+  // A fast-rotating hotspot keeps remastering on the critical path: every
+  // rotation triggers a wave of conversions whose cost scales with the
+  // remastering duration in standard mode, while batch mode overlaps the
+  // wave with batch collection (Sec. IV-D).
+  cfg.workload = "ycsb-hotspot-interval";
+  cfg.dynamic_period = 250 * kMillisecond;
+  cfg.warmup = 500 * kMillisecond;
+  cfg.duration = 3 * kSecond;
+  cfg.lion.planner.interval = 125 * kMillisecond;
+  cfg.cluster.remaster_base_delay = kRemasterUs[state.range(1)] * kMicrosecond;
+  if (batch) cfg.concurrency = 8000;  // avoid the client-window ceiling
+  bench::RunAndReport(cfg, state);
+}
+
+}  // namespace
+}  // namespace lion
+
+int main(int argc, char** argv) {
+  for (int w = 0; w < 2; ++w) {
+    std::string name = std::string("Fig13a/") +
+                       (w == 1 ? "WithPredictor" : "Baseline");
+    ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig13aPredictor)
+        ->Args({w})
+        ->Iterations(1)
+        ->Unit(::benchmark::kMillisecond);
+  }
+  for (int b = 0; b < 2; ++b) {
+    for (int d = 0; d < 5; ++d) {
+      std::string name = std::string("Fig13b/") +
+                         (b == 1 ? "Batch" : "NonBatch") + "/remaster_us=" +
+                         std::to_string(lion::kRemasterUs[d]);
+      ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig13bRemasterSweep)
+          ->Args({b, d})
+          ->Iterations(1)
+          ->Unit(::benchmark::kMillisecond);
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 14: latency analysis of the batch/deterministic approaches.
+// (a) 10th/50th/95th percentile latency; (b) normalized runtime breakdown
+// (scheduling / execution / commit / replication / other).
+#include "bench_common.h"
+
+namespace lion {
+namespace {
+
+struct Entry {
+  const char* label;
+  const char* factory;
+};
+const Entry kProtocols[] = {
+    {"Calvin", "Calvin"}, {"Aria", "Aria"},     {"Lotus", "Lotus"},
+    {"Hermes", "Hermes"}, {"Lion", "Lion(B)"},
+};
+
+void Fig14(::benchmark::State& state) {
+  ExperimentConfig cfg = bench::EvalConfig(kProtocols[state.range(0)].factory);
+  cfg.workload = "ycsb";
+  cfg.ycsb.cross_ratio = 0.5;
+  cfg.ycsb.skew_factor = 0.8;
+  cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
+  // Latency study: short epochs and a moderate client window so queueing
+  // does not drown per-transaction processing latency.
+  cfg.cluster.epoch_interval = 1 * kMillisecond;
+  cfg.concurrency = 512;
+  ExperimentResult res = bench::RunAndReport(cfg, state);
+
+  state.counters["p10_us"] = res.p10_us;
+
+  // Normalized runtime breakdown (Fig. 14b).
+  const PhaseBreakdown& bd = res.breakdown;
+  double total = static_cast<double>(bd.Total());
+  // "Other" absorbs the remainder of measured latency not attributed to a
+  // phase (batch waits, retries).
+  double lat_total = res.p50_us * 1000.0 * static_cast<double>(res.committed);
+  double other = std::max(0.0, lat_total - total) + static_cast<double>(bd.other);
+  double denom = total + std::max(0.0, lat_total - total);
+  if (denom <= 0.0) denom = 1.0;
+  std::printf(
+      "Fig14b/%s breakdown: scheduling=%.2f execution=%.2f commit=%.2f "
+      "replication=%.2f other=%.2f\n",
+      kProtocols[state.range(0)].label, bd.scheduling / denom,
+      bd.execution / denom, bd.commit / denom, bd.replication / denom,
+      other / denom);
+}
+
+}  // namespace
+}  // namespace lion
+
+int main(int argc, char** argv) {
+  for (int p = 0; p < 5; ++p) {
+    std::string name = std::string("Fig14/") + lion::kProtocols[p].label;
+    ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig14)
+        ->Args({p})
+        ->Iterations(1)
+        ->Unit(::benchmark::kMillisecond);
+  }
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 6 + Table II: ablation study. Throughput of the Lion variants vs
+// the cross-partition ratio on uniform YCSB (Sec. VI-B).
+//
+//   2PC       : no adaptation                    (baseline)
+//   Lion(S)   : Schism partitioning              (replica-blind)
+//   Lion(R)   : replica rearrangement only
+//   Lion(SW)  : Schism + workload prediction
+//   Lion(RW)  : rearrangement + prediction
+//   Lion(RB)  : rearrangement + batch execution
+//   Lion      : rearrangement + prediction + batch (full system)
+#include "bench_common.h"
+
+namespace lion {
+namespace {
+
+struct Variant {
+  const char* label;    // paper name
+  const char* factory;  // protocol factory name
+};
+const Variant kVariants[] = {
+    {"2PC", "2PC"},           {"Lion(S)", "Lion(S)"}, {"Lion(R)", "Lion(R)"},
+    {"Lion(SW)", "Lion(SW)"}, {"Lion(RW)", "Lion(RW)"}, {"Lion(RB)", "Lion(RB)"},
+    {"Lion", "Lion(B)"},
+};
+const int kRatios[] = {0, 20, 50, 80, 100};
+
+void Fig6(::benchmark::State& state) {
+  ExperimentConfig cfg = bench::EvalConfig(kVariants[state.range(0)].factory);
+  cfg.workload = "ycsb";
+  cfg.ycsb.cross_ratio = kRatios[state.range(1)] / 100.0;
+  cfg.ycsb.skew_factor = 0.0;  // uniform workload (Sec. VI-B)
+  // Lightweight protocol-level remastering for the ablation; the explicit
+  // 3000 us delay is the Fig. 7 setting.
+  cfg.cluster.remaster_base_delay = 500 * kMicrosecond;
+  // Batch variants need a client window above the worker-capacity ceiling
+  // (4000 outstanding x 10 ms epochs caps visible throughput at 400k/s).
+  if (IsBatchProtocol(kVariants[state.range(0)].factory)) {
+    cfg.concurrency = 16000;
+  }
+  bench::RunAndReport(cfg, state);
+}
+
+}  // namespace
+}  // namespace lion
+
+int main(int argc, char** argv) {
+  std::printf("Table II variants: see benchmark names below "
+              "(partitioning/prediction/batch per DESIGN.md).\n");
+  for (int v = 0; v < 7; ++v) {
+    for (int r = 0; r < 5; ++r) {
+      std::string name = std::string("Fig6/") + lion::kVariants[v].label +
+                         "/cross=" + std::to_string(lion::kRatios[r]);
+      ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig6)
+          ->Args({v, r})
+          ->Iterations(1)
+          ->Unit(::benchmark::kMillisecond);
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

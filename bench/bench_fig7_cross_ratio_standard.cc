@@ -1,0 +1,56 @@
+// Figure 7: standard-execution protocols under skewed YCSB (a) and TPC-C (b)
+// with the cross-partition ratio swept over {0, 20, 50, 80, 100}%.
+// Setup per Sec. VI-C1: skew_factor 0.8, remastering delay 3000 us.
+#include "bench_common.h"
+
+namespace lion {
+namespace {
+
+const char* kProtocols[] = {"2PC", "Leap", "Clay", "Lion"};
+const int kRatios[] = {0, 20, 50, 80, 100};
+
+void Fig7aYcsb(::benchmark::State& state) {
+  ExperimentConfig cfg =
+      bench::EvalConfig(kProtocols[state.range(0)]);
+  cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
+  cfg.workload = "ycsb";
+  cfg.ycsb.cross_ratio = kRatios[state.range(1)] / 100.0;
+  cfg.ycsb.skew_factor = 0.8;
+  bench::RunAndReport(cfg, state);
+}
+
+void Fig7bTpcc(::benchmark::State& state) {
+  ExperimentConfig cfg =
+      bench::EvalConfig(kProtocols[state.range(0)]);
+  cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
+  cfg.cluster.partitions_per_node = 4;  // warehouses per node (scaled)
+  cfg.workload = "tpcc";
+  cfg.tpcc.remote_ratio = kRatios[state.range(1)] / 100.0;
+  cfg.tpcc.skew_factor = 0.8;
+  bench::RunAndReport(cfg, state);
+}
+
+}  // namespace
+}  // namespace lion
+
+int main(int argc, char** argv) {
+  for (int p = 0; p < 4; ++p) {
+    for (int r = 0; r < 5; ++r) {
+      std::string name = std::string("Fig7a/") + lion::kProtocols[p] + "/cross=" +
+                         std::to_string(lion::kRatios[r]);
+      ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig7aYcsb)
+          ->Args({p, r})
+          ->Iterations(1)
+          ->Unit(::benchmark::kMillisecond);
+      name = std::string("Fig7b/") + lion::kProtocols[p] + "/cross=" +
+             std::to_string(lion::kRatios[r]);
+      ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig7bTpcc)
+          ->Args({p, r})
+          ->Iterations(1)
+          ->Unit(::benchmark::kMillisecond);
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Adaptive hotspot demo: a workload whose hot partitions shift every two
+// simulated seconds. Compares 2PC (static) against Lion (adaptive replica
+// provision) and prints throughput over time so the adaptation is visible.
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.h"
+
+using namespace lion;
+
+namespace {
+
+ExperimentResult Run(const std::string& protocol) {
+  ExperimentConfig cfg;
+  cfg.protocol = protocol;
+  cfg.workload = "ycsb-hotspot-interval";
+  cfg.dynamic_period = 2 * kSecond;
+  cfg.cluster.num_nodes = 4;
+  cfg.warmup = 0;
+  cfg.duration = 12 * kSecond;  // two full cycles of three phases
+  cfg.lion.planner.interval = 250 * kMillisecond;
+  cfg.predictor.train_epochs = 8;
+  return RunExperiment(cfg);
+}
+
+void PrintSeries(const char* name, const ExperimentResult& res) {
+  std::printf("%-6s ktxn/s:", name);
+  // One sample per 500 ms for readability.
+  for (size_t i = 4; i < res.window_throughput.size(); i += 5) {
+    std::printf(" %5.0f", res.window_throughput[i] / 1000.0);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Hotspot shifts every 2 s (phase boundaries at 2, 4, 6, ... s)\n");
+  ExperimentResult twopc = Run("2PC");
+  ExperimentResult lion = Run("Lion");
+  PrintSeries("2PC", twopc);
+  PrintSeries("Lion", lion);
+  std::printf("\nAverages: 2PC %.0f txn/s | Lion %.0f txn/s (%.1fx)\n",
+              twopc.throughput, lion.throughput,
+              lion.throughput / twopc.throughput);
+  std::printf("Lion executed %.1f%% of transactions on a single node.\n",
+              100.0 * (lion.single_node + lion.remastered) /
+                  std::max<uint64_t>(1, lion.committed));
+  return 0;
+}

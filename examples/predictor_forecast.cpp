@@ -1,0 +1,49 @@
+// Workload prediction demo: feeds the LSTM predictor a periodic workload
+// (quiet phases alternating with bursts of co-access on partitions 7 and 8)
+// and shows the forecast, the workload-variation metric wv (Eq. 6), and the
+// predicted co-access edges injected into the heat graph (Fig. 5).
+#include <cstdio>
+
+#include "core/heat_graph.h"
+#include "core/predictor.h"
+
+using namespace lion;
+
+int main() {
+  PredictorConfig cfg;
+  cfg.sample_interval = 100 * kMillisecond;
+  cfg.horizon = 2;
+  cfg.gamma = 0.05;
+  cfg.train_epochs = 120;
+  cfg.history_window = 12;
+  cfg.lstm.hidden = 10;
+  cfg.prediction_scale = 10.0;
+  LstmPredictor predictor(cfg);
+
+  // Period-4 arrival pattern: 2 quiet intervals, then 2 bursts (x9 rate).
+  auto rate_at = [](int interval) { return interval % 4 < 2 ? 1 : 9; };
+  SimTime t = 0;
+  std::printf("observed arrival rates (txns/interval): ");
+  for (int interval = 0; interval < 26; ++interval) {
+    int rate = rate_at(interval);
+    std::printf("%d ", rate);
+    for (int i = 0; i < rate; ++i) predictor.OnTxn({7, 8}, t);
+    t += cfg.sample_interval;
+  }
+  std::printf("\n(history ends in a quiet phase, right before a burst)\n\n");
+
+  HeatGraph graph;
+  predictor.AugmentGraph(&graph, t);
+
+  std::printf("templates identified : %zu\n", predictor.num_templates());
+  std::printf("workload classes     : %zu\n", predictor.num_classes());
+  std::printf("wv(t, h=2)           : %.3f (gamma = %.2f)\n",
+              predictor.WorkloadVariation(t), cfg.gamma);
+  std::printf("pre-replication fired: %s\n",
+              predictor.pre_replications_triggered() > 0 ? "yes" : "no");
+  std::printf("predicted co-access edge (P7, P8) weight: %.1f\n",
+              graph.EdgeWeight(7, 8));
+  std::printf("\nThe planner would now pre-provision replicas so partitions\n"
+              "7 and 8 are co-located before the burst arrives (Sec. IV-C).\n");
+  return 0;
+}

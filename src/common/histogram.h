@@ -1,0 +1,47 @@
+// Latency histogram with percentile extraction.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lion {
+
+/// Log-bucketed histogram for latency-like quantities (nanoseconds).
+///
+/// Buckets grow geometrically (~4% relative error), so percentile queries are
+/// cheap and memory use is constant regardless of sample count.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one sample. Negative samples are clamped to zero.
+  void Record(int64_t value);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  /// Returns the value at quantile q in [0, 1]; 0 if empty.
+  int64_t Percentile(double q) const;
+
+  int64_t Min() const { return count_ == 0 ? 0 : min_; }
+  int64_t Max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const;
+  uint64_t Count() const { return count_; }
+
+  void Reset();
+
+ private:
+  static size_t BucketFor(int64_t value);
+  static int64_t BucketLow(size_t index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_;
+  int64_t min_;
+  int64_t max_;
+  double sum_;
+};
+
+}  // namespace lion

@@ -1,0 +1,30 @@
+// Minimal leveled logging for the simulator. Off by default in benchmarks.
+#pragma once
+
+#include <cstdio>
+
+namespace lion {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold. Messages below this level are suppressed.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+const char* LevelName(LogLevel level);
+}  // namespace internal
+
+}  // namespace lion
+
+// Usage: LION_LOG(kInfo, "planner moved %d clumps", n);
+#define LION_LOG(level, ...)                                                    \
+  do {                                                                          \
+    if (static_cast<int>(::lion::LogLevel::level) >=                            \
+        static_cast<int>(::lion::GetLogLevel())) {                              \
+      std::fprintf(stderr, "[%s] ",                                             \
+                   ::lion::internal::LevelName(::lion::LogLevel::level));       \
+      std::fprintf(stderr, __VA_ARGS__);                                        \
+      std::fprintf(stderr, "\n");                                               \
+    }                                                                           \
+  } while (0)

@@ -1,0 +1,71 @@
+// Deterministic random number generation for reproducible simulations.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lion {
+
+/// PCG32 generator. Small, fast, and fully deterministic across platforms,
+/// which keeps every simulated experiment reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  /// Uniform 32-bit value.
+  uint32_t Next();
+
+  /// Uniform 64-bit value.
+  uint64_t Next64();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Samples an index according to the (non-negative) weights given.
+  /// Returns 0 if all weights are zero.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+/// Zipfian distribution over [0, n) with parameter theta, using the
+/// Gray et al. rejection-free method popularized by YCSB.
+///
+/// theta = 0 degenerates to uniform; theta -> 1 concentrates mass on low
+/// indices. The generator precomputes zeta(n, theta) once per (n, theta).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta);
+
+  /// Draws the next zipfian-distributed index in [0, n).
+  uint64_t Next(Rng* rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace lion

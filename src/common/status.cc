@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace lion {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NOT_FOUND";
+    case Status::Code::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case Status::Code::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Status::Code::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case Status::Code::kAborted:
+      return "ABORTED";
+    case Status::Code::kUnavailable:
+      return "UNAVAILABLE";
+    case Status::Code::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace lion

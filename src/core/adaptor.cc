@@ -1,0 +1,32 @@
+#include "core/adaptor.h"
+
+namespace lion {
+
+void Adaptor::Apply(const PlanEntry& entry) {
+  switch (entry.action) {
+    case PlanAction::kAddReplica: {
+      adds_started_++;
+      NodeId target = node_;
+      PartitionId pid = entry.pid;
+      cluster_->migration().AddReplica(pid, target, [this, pid, target](bool ok) {
+        if (!ok) return;
+        adds_completed_++;
+        // Enforce the user's replica limit: flag the least useful replica.
+        cluster_->migration().EvictIfOverLimit(pid, target);
+      });
+      break;
+    }
+    case PlanAction::kRemaster: {
+      remasters_started_++;
+      cluster_->remaster().Remaster(entry.pid, node_, [](bool) {});
+      break;
+    }
+    case PlanAction::kMovePrimary: {
+      moves_started_++;
+      cluster_->migration().MovePrimary(entry.pid, node_, [](bool) {});
+      break;
+    }
+  }
+}
+
+}  // namespace lion

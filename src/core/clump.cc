@@ -1,0 +1,55 @@
+#include "core/clump.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace lion {
+
+std::vector<Clump> ClumpGenerator::Generate(const HeatGraph& graph,
+                                            const RouterTable& table) const {
+  std::vector<Clump> clumps;
+  std::unordered_set<PartitionId> used;
+  std::vector<PartitionId> by_heat = graph.VerticesByHeat();
+  double threshold = options_.alpha;
+  double raw_floor = options_.alpha_relative > 0.0
+                         ? options_.alpha_relative * graph.MeanEdgeWeight()
+                         : 0.0;
+
+  for (PartitionId seed : by_heat) {
+    if (used.count(seed)) continue;
+    Clump clump;
+    std::deque<PartitionId> frontier;
+    frontier.push_back(seed);
+    used.insert(seed);
+
+    while (!frontier.empty()) {
+      PartitionId v = frontier.front();
+      frontier.pop_front();
+      clump.pids.push_back(v);
+      clump.weight += graph.VertexWeight(v);
+
+      for (const auto& [nbr, raw_w] : graph.Neighbors(v)) {
+        if (used.count(nbr)) continue;
+        // Below-average co-access is placement noise, not structure.
+        if (raw_w <= raw_floor) continue;
+        // Edges across current node boundaries get boosted: co-access that
+        // is already local matters less than co-access that currently
+        // requires a distributed transaction.
+        double eff = raw_w;
+        if (table.PrimaryOf(v) != table.PrimaryOf(nbr)) {
+          eff *= options_.cross_node_multiplier;
+        }
+        if (eff > threshold) {
+          used.insert(nbr);
+          frontier.push_back(nbr);
+        }
+      }
+    }
+    std::sort(clump.pids.begin(), clump.pids.end());
+    clumps.push_back(std::move(clump));
+  }
+  return clumps;
+}
+
+}  // namespace lion

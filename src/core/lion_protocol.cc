@@ -1,0 +1,243 @@
+#include "core/lion_protocol.h"
+
+#include <memory>
+
+namespace lion {
+
+/// One epoch's buffered transactions (batch execution, Sec. IV-D).
+struct LionProtocol::Batch {
+  struct Entry {
+    std::shared_ptr<TxnPtr> txn;
+    TxnDoneFn done;
+    NodeId dst = kInvalidNode;
+    bool convertible = false;   // single-node feasible at buffering time
+    bool used_remaster = false; // issued async remaster requests
+    bool remaster_failed = false;
+  };
+  std::vector<Entry> entries;
+  /// Remaster requests still in flight for this batch; the batch's
+  /// execution phase starts only after all are acknowledged (the barrier).
+  int outstanding_remasters = 0;
+  bool flushed = false;
+};
+
+LionProtocol::LionProtocol(Cluster* cluster, MetricsCollector* metrics,
+                           LionOptions options, PredictorInterface* predictor)
+    : Protocol(cluster, metrics),
+      options_(options),
+      engine_(cluster, metrics),
+      router_(cluster, options.cost),
+      cost_model_(options.cost),
+      current_batch_(std::make_shared<Batch>()) {
+  if (options_.enable_planner) {
+    planner_ = std::make_unique<Planner>(cluster, options_.planner, predictor);
+  }
+}
+
+void LionProtocol::Start() {
+  if (planner_ != nullptr) planner_->Start();
+  if (options_.batch_mode && !epoch_timer_started_) {
+    epoch_timer_started_ = true;
+    cluster_->sim()->ScheduleWeak(cluster_->config().epoch_interval,
+                                  [this]() { EpochTick(); });
+  }
+}
+
+void LionProtocol::EpochTick() {
+  FlushBatch();
+  cluster_->sim()->ScheduleWeak(cluster_->config().epoch_interval,
+                                [this]() { EpochTick(); });
+}
+
+void LionProtocol::Submit(TxnPtr txn, TxnDoneFn done) {
+  std::vector<PartitionId> parts = txn->Partitions();
+  for (PartitionId p : parts) cluster_->router().RecordAccess(p);
+  if (planner_ != nullptr) planner_->RecordTxn(parts, cluster_->sim()->Now());
+
+  if (options_.batch_mode) {
+    SubmitBatch(std::move(txn), std::move(done));
+  } else {
+    SubmitStandard(std::move(txn), std::move(done));
+  }
+}
+
+bool LionProtocol::WorthRemastering(PartitionId pid, NodeId dst,
+                                    size_t ops_on_pid) const {
+  double remaster_cost =
+      options_.cost.wr * cost_model_.CntRemaster(cluster_->router(), pid, dst);
+  // Remote execution costs remote_access per partition plus a small per-op
+  // component, so stealing mastership for a tiny remote working set only
+  // happens when the partition is cold (low f in Eq. 4).
+  double remote_cost =
+      options_.cost.remote_access * (0.5 + 0.1 * static_cast<double>(ops_on_pid));
+  return remaster_cost > 0.0 && remaster_cost <= remote_cost;
+}
+
+void LionProtocol::Execute(Transaction* txn, NodeId dst, ExecClass cls,
+                           std::function<void(bool)> cb) {
+  txn->set_exec_class(cls);
+  TwoPhaseEngine::Options opts;
+  opts.group_commit_visibility = options_.group_commit;
+  engine_.Run(txn, dst, opts, std::move(cb));
+}
+
+void LionProtocol::SubmitStandard(TxnPtr txn, TxnDoneFn done) {
+  std::vector<PartitionId> parts = txn->Partitions();
+  NodeId dst = router_.Route(parts);
+
+  // Classify the three cases of Sec. III against the routed node.
+  std::vector<PartitionId> need_remaster;
+  bool feasible = true;
+  for (PartitionId p : parts) {
+    if (cluster_->router().PrimaryOf(p) == dst) continue;
+    if (cluster_->router().HasSecondary(dst, p) &&
+        WorthRemastering(p, dst, txn->OpsOn(p).size())) {
+      need_remaster.push_back(p);
+    } else {
+      feasible = false;  // case 3: some replica missing (or too hot to steal)
+      break;
+    }
+  }
+
+  Transaction* raw = txn.get();
+  auto txn_shared = std::make_shared<TxnPtr>(std::move(txn));
+  auto finish = [this, txn_shared, done](bool committed) {
+    if (committed) {
+      metrics_->OnCommit(**txn_shared, cluster_->sim()->Now());
+      done(std::move(*txn_shared));
+    } else {
+      RetryAfterBackoff(std::move(*txn_shared), done);
+    }
+  };
+
+  if (!feasible) {
+    // Case 3: regular distributed transaction with 2PC.
+    fallback_distributed_++;
+    Execute(raw, dst, ExecClass::kDistributed, finish);
+    return;
+  }
+  if (need_remaster.empty()) {
+    // Case 1: every primary already local — direct single-node execution.
+    Execute(raw, dst, ExecClass::kSingleNode, finish);
+    return;
+  }
+
+  // Case 2: remaster the secondaries onto dst, then execute locally. If any
+  // remaster conflicts (another node is converting the same partition), the
+  // transaction falls back to distributed execution (Sec. III).
+  remaster_requests_ += need_remaster.size();
+  auto pending = std::make_shared<int>(static_cast<int>(need_remaster.size()));
+  auto any_failed = std::make_shared<bool>(false);
+  for (PartitionId p : need_remaster) {
+    cluster_->remaster().Remaster(p, dst, [this, raw, dst, pending, any_failed,
+                                           finish](bool ok) {
+      if (!ok) *any_failed = true;
+      if (--(*pending) > 0) return;
+      if (*any_failed) {
+        fallback_distributed_++;
+        Execute(raw, dst, ExecClass::kDistributed, finish);
+      } else {
+        remaster_conversions_++;
+        Execute(raw, dst, ExecClass::kRemastered, finish);
+      }
+    });
+  }
+}
+
+void LionProtocol::SubmitBatch(TxnPtr txn, TxnDoneFn done) {
+  std::vector<PartitionId> parts = txn->Partitions();
+  NodeId dst = router_.Route(parts);
+
+  Batch::Entry entry;
+  entry.dst = dst;
+  entry.done = std::move(done);
+  entry.convertible = true;
+
+  std::vector<PartitionId> need_remaster;
+  for (PartitionId p : parts) {
+    if (cluster_->router().PrimaryOf(p) == dst) continue;
+    Transaction* raw_txn = txn.get();
+    if (cluster_->router().HasSecondary(dst, p) &&
+        WorthRemastering(p, dst, raw_txn->OpsOn(p).size())) {
+      need_remaster.push_back(p);
+    } else {
+      entry.convertible = false;
+      need_remaster.clear();
+      break;
+    }
+  }
+
+  entry.txn = std::make_shared<TxnPtr>(std::move(txn));
+  std::shared_ptr<Batch> batch = current_batch_;
+  batch->entries.push_back(std::move(entry));
+  size_t entry_idx = batch->entries.size() - 1;
+
+  // Asynchronous remastering (Sec. IV-D): issue the requests immediately,
+  // do NOT wait — the executor keeps buffering subsequent transactions. The
+  // batch index is carried in the callback to locate the context.
+  if (!need_remaster.empty()) {
+    batch->entries[entry_idx].used_remaster = true;
+    remaster_requests_ += need_remaster.size();
+    batch->outstanding_remasters += static_cast<int>(need_remaster.size());
+    for (PartitionId p : need_remaster) {
+      cluster_->remaster().Remaster(
+          p, entry.dst, [this, batch, entry_idx](bool ok) {
+            if (!ok) batch->entries[entry_idx].remaster_failed = true;
+            batch->outstanding_remasters--;
+            if (batch->flushed && batch->outstanding_remasters == 0) {
+              ExecuteBatch(batch);
+            }
+          });
+    }
+  }
+
+  if (batch->entries.size() >= options_.max_batch_size) FlushBatch();
+}
+
+void LionProtocol::FlushBatch() {
+  std::shared_ptr<Batch> batch = current_batch_;
+  if (batch->entries.empty() || batch->flushed) return;
+  current_batch_ = std::make_shared<Batch>();
+  batch->flushed = true;
+  // Barrier: execution starts only once every remastering request of the
+  // batch has been acknowledged.
+  if (batch->outstanding_remasters == 0) ExecuteBatch(batch);
+}
+
+void LionProtocol::ExecuteBatch(const std::shared_ptr<Batch>& batch) {
+  for (auto& entry : batch->entries) {
+    Transaction* raw = entry.txn->get();
+    auto txn_shared = entry.txn;
+    TxnDoneFn done = entry.done;
+    auto finish = [this, txn_shared, done](bool committed) {
+      if (committed) {
+        metrics_->OnCommit(**txn_shared, cluster_->sim()->Now());
+        done(std::move(*txn_shared));
+      } else {
+        RetryAfterBackoff(std::move(*txn_shared), done);
+      }
+    };
+
+    // Re-derive the execution class against the post-remaster placement.
+    bool single = true;
+    for (PartitionId p : raw->Partitions()) {
+      if (cluster_->router().PrimaryOf(p) != entry.dst) {
+        single = false;
+        break;
+      }
+    }
+    ExecClass cls;
+    if (!single) {
+      cls = ExecClass::kDistributed;
+      fallback_distributed_++;
+    } else if (entry.used_remaster && !entry.remaster_failed) {
+      cls = ExecClass::kRemastered;
+      remaster_conversions_++;
+    } else {
+      cls = ExecClass::kSingleNode;
+    }
+    Execute(raw, entry.dst, cls, finish);
+  }
+}
+
+}  // namespace lion

@@ -1,0 +1,25 @@
+#include "core/plan.h"
+
+namespace lion {
+
+std::vector<PlanEntry> ReconfigurationPlan::ToEntries(
+    const RouterTable& table) const {
+  std::vector<PlanEntry> entries;
+  for (const Clump& clump : assignments) {
+    if (clump.dst == kInvalidNode) continue;
+    for (PartitionId pid : clump.pids) {
+      if (table.PrimaryOf(pid) == clump.dst) continue;  // case 1: free
+      if (table.HasSecondary(clump.dst, pid)) {
+        // Case 2: lightweight remastering.
+        entries.push_back(PlanEntry{PlanAction::kRemaster, pid, clump.dst});
+      } else {
+        // Case 3: replica must be provisioned first. The remaster to make
+        // it primary happens on demand when a transaction needs it.
+        entries.push_back(PlanEntry{PlanAction::kAddReplica, pid, clump.dst});
+      }
+    }
+  }
+  return entries;
+}
+
+}  // namespace lion

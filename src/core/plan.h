@@ -1,0 +1,46 @@
+// Reconfiguration plan produced by the plan generator.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/clump.h"
+#include "replication/router_table.h"
+
+namespace lion {
+
+enum class PlanAction : uint8_t {
+  /// Provision a new secondary replica of `pid` on `node` (background copy).
+  kAddReplica,
+  /// Promote `node`'s secondary of `pid` to primary.
+  kRemaster,
+  /// Blocking full migration of the primary (replica-blind strategies such
+  /// as Schism that ignore existing secondaries).
+  kMovePrimary,
+};
+
+/// One replica-layout adjustment, routed to the adaptor of `node`.
+struct PlanEntry {
+  PlanAction action = PlanAction::kAddReplica;
+  PartitionId pid = kInvalidPartition;
+  NodeId node = kInvalidNode;
+};
+
+/// The RP structure of Sec. IV-B: clump -> node assignments, convertible to
+/// the concrete adaptor actions that realize them.
+struct ReconfigurationPlan {
+  /// Clumps with their chosen destination (c.n filled in).
+  std::vector<Clump> assignments;
+  /// Total placement cost (sum of f_o over assignments).
+  double total_cost = 0.0;
+  /// Fine-tuning moves applied for load balancing.
+  int fine_tune_moves = 0;
+
+  /// Derives adaptor actions from the assignments against the current
+  /// placement: nothing for partitions already primary at the destination,
+  /// kRemaster where the destination holds a live secondary, kAddReplica
+  /// (followed by an on-demand remaster at execution time) otherwise.
+  std::vector<PlanEntry> ToEntries(const RouterTable& table) const;
+};
+
+}  // namespace lion

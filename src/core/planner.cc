@@ -1,0 +1,98 @@
+#include "core/planner.h"
+
+#include <unordered_map>
+
+#include "core/heat_graph.h"
+#include "sim/network.h"
+
+namespace lion {
+
+Planner::Planner(Cluster* cluster, PlannerConfig config,
+                 PredictorInterface* predictor)
+    : cluster_(cluster),
+      config_(config),
+      predictor_(predictor),
+      clump_generator_(config.clump),
+      plan_generator_(config.plan),
+      schism_(config.plan.epsilon) {
+  for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+    adaptors_.push_back(std::make_unique<Adaptor>(cluster_, n));
+  }
+}
+
+void Planner::Start() {
+  if (started_) return;
+  started_ = true;
+  cluster_->sim()->ScheduleWeak(config_.interval, [this]() { Tick(); });
+}
+
+void Planner::Tick() {
+  RunOnce();
+  cluster_->sim()->ScheduleWeak(config_.interval, [this]() { Tick(); });
+}
+
+void Planner::RecordTxn(const std::vector<PartitionId>& parts, SimTime now) {
+  history_.push_back(parts);
+  if (history_.size() > config_.history_capacity) history_.pop_front();
+  if (predictor_ != nullptr) predictor_->OnTxn(parts, now);
+}
+
+void Planner::RunOnce() {
+  if (history_.size() < config_.min_history) return;
+
+  // 1. Workload analysis: heat graph over the last B transactions, plus the
+  //    K predicted ones injected by the predictor (Fig. 5c).
+  HeatGraph graph;
+  for (const auto& parts : history_) graph.AddAccess(parts, 1.0);
+  if (predictor_ != nullptr) {
+    predictor_->AugmentGraph(&graph, cluster_->sim()->Now());
+  }
+
+  // 2. Clump generation + plan generation.
+  ReconfigurationPlan plan;
+  std::vector<PlanEntry> entries;
+  if (config_.strategy == PartitioningStrategy::kSchism) {
+    // Replica-blind repartitioning: every partition whose assigned node is
+    // not its current primary is moved by blocking full migration.
+    plan.assignments = schism_.Partition(graph, cluster_->router());
+    for (const Clump& clump : plan.assignments) {
+      for (PartitionId pid : clump.pids) {
+        if (cluster_->router().PrimaryOf(pid) != clump.dst) {
+          entries.push_back(PlanEntry{PlanAction::kMovePrimary, pid, clump.dst});
+        }
+      }
+    }
+  } else {
+    // Algorithm 1: replica-aware clump dispatch + load fine-tuning.
+    std::vector<Clump> clumps =
+        clump_generator_.Generate(graph, cluster_->router());
+    plan = plan_generator_.Rearrange(std::move(clumps), cluster_->router());
+    entries = plan.ToEntries(cluster_->router());
+  }
+  last_plan_ = plan;
+  plans_generated_++;
+
+  // 3. Dispatch entries to each node's adaptor over the network. The
+  //    adaptor applies them asynchronously; foreground transactions are
+  //    never stalled by planning.
+  std::unordered_map<NodeId, std::vector<PlanEntry>> by_node;
+  for (const PlanEntry& e : entries) by_node[e.node].push_back(e);
+  for (auto& [node, node_entries] : by_node) {
+    uint64_t bytes = MessageSizes::kHeader +
+                     node_entries.size() * MessageSizes::kPlanEntry;
+    Adaptor* adaptor = adaptors_[node].get();
+    auto payload = std::make_shared<std::vector<PlanEntry>>(std::move(node_entries));
+    entries_dispatched_ += payload->size();
+    cluster_->network().Send(planner_endpoint(), node, bytes,
+                             [adaptor, payload]() {
+                               for (const PlanEntry& e : *payload) {
+                                 adaptor->Apply(e);
+                               }
+                             });
+  }
+
+  // 4. Age the frequency statistics so the next round tracks recent load.
+  cluster_->router().DecayFrequencies(config_.frequency_decay);
+}
+
+}  // namespace lion

@@ -1,0 +1,31 @@
+// Interface between the planner and the workload prediction mechanism.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/heat_graph.h"
+
+namespace lion {
+
+/// Workload predictor hook (Sec. IV-C). The planner feeds it every observed
+/// transaction; before each planning round it may inject predicted
+/// co-accessed partitions into the heat graph (weighted by w_p) and decide
+/// whether the forecast workload shift warrants pre-replication.
+class PredictorInterface {
+ public:
+  virtual ~PredictorInterface() = default;
+
+  /// Observes one routed transaction's partition set.
+  virtual void OnTxn(const std::vector<PartitionId>& parts, SimTime now) = 0;
+
+  /// Injects the K predicted transactions' co-access patterns into `graph`
+  /// (the red dashed edges of Fig. 5c). Called once per planning round.
+  virtual void AugmentGraph(HeatGraph* graph, SimTime now) = 0;
+
+  /// The workload-variation metric wv(t, h) of Eq. 6; pre-replication is
+  /// warranted when it exceeds the configured γ.
+  virtual double WorkloadVariation(SimTime now) = 0;
+};
+
+}  // namespace lion

@@ -1,0 +1,40 @@
+#include "core/txn_router.h"
+
+namespace lion {
+
+NodeId TxnRouter::Route(const std::vector<PartitionId>& parts) const {
+  const RouterTable& table = cluster_->router();
+  NodeId best = kInvalidNode;
+  int best_replicas = -1;
+  double best_cost = 0.0;
+  double best_load = 0.0;
+
+  for (NodeId n = 0; n < table.num_nodes(); ++n) {
+    if (!table.IsNodeUp(n)) continue;
+    int replicas = 0;
+    for (PartitionId p : parts) {
+      if (table.HasReplica(n, p)) replicas++;
+    }
+    double cost = cost_model_.ExecutionCost(table, parts, n);
+    double load = cluster_->pool(n)->Load();
+
+    bool better = best == kInvalidNode;
+    if (better) {
+    } else if (replicas != best_replicas) {
+      better = replicas > best_replicas;
+    } else if (cost != best_cost) {
+      better = cost < best_cost;
+    } else {
+      better = load < best_load;
+    }
+    if (better) {
+      best = n;
+      best_replicas = replicas;
+      best_cost = cost;
+      best_load = load;
+    }
+  }
+  return best == kInvalidNode ? 0 : best;
+}
+
+}  // namespace lion

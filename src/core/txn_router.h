@@ -1,0 +1,32 @@
+// Cost-based transaction routing (Sec. III).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/cost_model.h"
+#include "replication/cluster.h"
+
+namespace lion {
+
+/// Lion's transaction router: dispatches a transaction to the node holding
+/// the maximum number of requisite replicas, breaking ties by the cost
+/// model's execution cost f_c and then by instantaneous worker load.
+/// Deterministic given placement, so transactions accessing the same
+/// partitions route to the same node (ping-pong avoidance, Sec. III).
+class TxnRouter {
+ public:
+  TxnRouter(Cluster* cluster, CostModelConfig cost)
+      : cluster_(cluster), cost_model_(cost) {}
+
+  /// Chooses the executor node for a transaction touching `parts`.
+  NodeId Route(const std::vector<PartitionId>& parts) const;
+
+  const CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  Cluster* cluster_;
+  CostModel cost_model_;
+};
+
+}  // namespace lion

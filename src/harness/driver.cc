@@ -1,0 +1,31 @@
+#include "harness/driver.h"
+
+namespace lion {
+
+ClosedLoopDriver::ClosedLoopDriver(Simulator* sim, Protocol* protocol,
+                                   WorkloadGenerator* workload,
+                                   MetricsCollector* metrics, int concurrency)
+    : sim_(sim),
+      protocol_(protocol),
+      workload_(workload),
+      metrics_(metrics),
+      concurrency_(concurrency),
+      stopped_(false),
+      issued_(0),
+      completed_(0) {}
+
+void ClosedLoopDriver::Start() {
+  for (int i = 0; i < concurrency_; ++i) IssueOne();
+}
+
+void ClosedLoopDriver::IssueOne() {
+  if (stopped_) return;
+  TxnPtr txn = workload_->Next(++issued_, sim_->Now(), &sim_->rng());
+  protocol_->Submit(std::move(txn), [this](TxnPtr finished) {
+    (void)finished;  // metrics were recorded by the protocol at commit time
+    completed_++;
+    IssueOne();
+  });
+}
+
+}  // namespace lion

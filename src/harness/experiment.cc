@@ -1,0 +1,172 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+
+#include "harness/driver.h"
+#include "protocols/aria.h"
+#include "protocols/calvin.h"
+#include "protocols/hermes.h"
+#include "protocols/leap.h"
+#include "protocols/lotus.h"
+#include "protocols/star.h"
+#include "protocols/twopc.h"
+
+namespace lion {
+
+bool IsBatchProtocol(const std::string& p) {
+  return p == "Star" || p == "Calvin" || p == "Hermes" || p == "Aria" ||
+         p == "Lotus" || p == "Lion(RB)" || p == "Lion(B)";
+}
+
+std::unique_ptr<Protocol> MakeProtocol(
+    const ExperimentConfig& cfg, Cluster* cluster, MetricsCollector* metrics,
+    std::unique_ptr<PredictorInterface>* predictor_out) {
+  const std::string& name = cfg.protocol;
+  if (name == "2PC") return std::make_unique<TwoPcProtocol>(cluster, metrics);
+  if (name == "Leap") return std::make_unique<LeapProtocol>(cluster, metrics);
+  if (name == "Clay")
+    return std::make_unique<ClayProtocol>(cluster, metrics, cfg.clay);
+  if (name == "Star") return std::make_unique<StarProtocol>(cluster, metrics);
+  if (name == "Calvin")
+    return std::make_unique<CalvinProtocol>(cluster, metrics);
+  if (name == "Hermes")
+    return std::make_unique<HermesProtocol>(cluster, metrics);
+  if (name == "Aria") return std::make_unique<AriaProtocol>(cluster, metrics);
+  if (name == "Lotus") return std::make_unique<LotusProtocol>(cluster, metrics);
+
+  // Lion family (Table II variants).
+  LionOptions opts = cfg.lion;
+  bool want_predictor = false;
+  opts.group_commit = false;  // batch variants override below
+  if (name == "Lion(S)") {
+    opts.planner.strategy = PartitioningStrategy::kSchism;
+    opts.batch_mode = false;
+  } else if (name == "Lion(SW)") {
+    opts.planner.strategy = PartitioningStrategy::kSchism;
+    opts.batch_mode = false;
+    want_predictor = true;
+  } else if (name == "Lion(R)") {
+    opts.planner.strategy = PartitioningStrategy::kReplicaRearrangement;
+    opts.batch_mode = false;
+  } else if (name == "Lion(RW)") {
+    opts.planner.strategy = PartitioningStrategy::kReplicaRearrangement;
+    opts.batch_mode = false;
+    want_predictor = true;
+  } else if (name == "Lion(RB)") {
+    opts.planner.strategy = PartitioningStrategy::kReplicaRearrangement;
+    opts.batch_mode = true;
+    opts.group_commit = true;
+  } else if (name == "Lion(B)") {
+    opts.planner.strategy = PartitioningStrategy::kReplicaRearrangement;
+    opts.batch_mode = true;
+    opts.group_commit = true;
+    want_predictor = true;
+  } else if (name == "Lion") {
+    // Standard-execution Lion with prediction (the non-batch figures).
+    opts.planner.strategy = PartitioningStrategy::kReplicaRearrangement;
+    opts.batch_mode = false;
+    want_predictor = true;
+  } else {
+    return nullptr;
+  }
+
+  PredictorInterface* predictor = nullptr;
+  if (want_predictor && predictor_out != nullptr) {
+    auto p = std::make_unique<LstmPredictor>(cfg.predictor, cfg.seed + 101);
+    predictor = p.get();
+    *predictor_out = std::move(p);
+  }
+  return std::make_unique<LionProtocol>(cluster, metrics, opts, predictor);
+}
+
+namespace {
+
+std::unique_ptr<WorkloadGenerator> MakeWorkload(const ExperimentConfig& cfg,
+                                                Cluster* cluster) {
+  if (cfg.workload == "ycsb") {
+    return std::make_unique<YcsbWorkload>(cfg.cluster, cfg.ycsb);
+  }
+  if (cfg.workload == "tpcc") {
+    auto w = std::make_unique<TpccWorkload>(cfg.cluster, cfg.tpcc);
+    w->Load(cluster);
+    return w;
+  }
+  if (cfg.workload == "ycsb-hotspot-interval") {
+    return std::make_unique<DynamicYcsbWorkload>(
+        cfg.cluster,
+        DynamicYcsbWorkload::HotspotInterval(cfg.cluster, cfg.dynamic_period));
+  }
+  if (cfg.workload == "ycsb-hotspot-position") {
+    return std::make_unique<DynamicYcsbWorkload>(
+        cfg.cluster,
+        DynamicYcsbWorkload::HotspotPosition(cfg.cluster, cfg.dynamic_period));
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ExperimentResult RunExperiment(const ExperimentConfig& cfg) {
+  Simulator sim(cfg.seed);
+  Cluster cluster(&sim, cfg.cluster);
+  MetricsCollector metrics(cfg.cluster.net.stats_window);
+  std::unique_ptr<PredictorInterface> predictor;
+  std::unique_ptr<Protocol> protocol =
+      MakeProtocol(cfg, &cluster, &metrics, &predictor);
+  std::unique_ptr<WorkloadGenerator> workload = MakeWorkload(cfg, &cluster);
+
+  int concurrency = cfg.concurrency;
+  if (concurrency == 0) {
+    concurrency = IsBatchProtocol(cfg.protocol)
+                      ? 4000
+                      : cfg.cluster.num_nodes * cfg.cluster.workers_per_node;
+  }
+
+  cluster.Start();
+  protocol->Start();
+  ClosedLoopDriver driver(&sim, protocol.get(), workload.get(), &metrics,
+                          concurrency);
+  driver.Start();
+
+  sim.RunUntil(cfg.warmup);
+  metrics.StartMeasurement(sim.Now());
+  sim.RunUntil(cfg.warmup + cfg.duration);
+  SimTime measured_end = sim.Now();
+  double throughput = metrics.Throughput(measured_end);
+  driver.Stop();
+
+  ExperimentResult res;
+  res.protocol = cfg.protocol;
+  res.throughput = throughput;
+  res.committed = metrics.committed();
+  res.aborts = metrics.aborts();
+  res.single_node = metrics.single_node();
+  res.remastered = metrics.remastered();
+  res.distributed = metrics.distributed();
+  res.p10_us = metrics.latency().Percentile(0.10) / 1000.0;
+  res.p50_us = metrics.latency().Percentile(0.50) / 1000.0;
+  res.p95_us = metrics.latency().Percentile(0.95) / 1000.0;
+  res.p99_us = metrics.latency().Percentile(0.99) / 1000.0;
+  res.breakdown = metrics.breakdown_sum();
+  res.window = metrics.window();
+
+  const auto& commits = metrics.window_commits();
+  const auto& bytes = cluster.network().window_bytes();
+  for (size_t i = 0; i < commits.size(); ++i) {
+    res.window_throughput.push_back(metrics.WindowThroughput(i));
+    double b = i < bytes.size() ? static_cast<double>(bytes[i]) : 0.0;
+    res.window_bytes_per_txn.push_back(
+        commits[i] > 0 ? b / static_cast<double>(commits[i]) : 0.0);
+  }
+  if (metrics.committed() > 0) {
+    res.bytes_per_txn = static_cast<double>(cluster.network().total_bytes()) /
+                        static_cast<double>(metrics.committed() +
+                                            std::max<uint64_t>(1, metrics.aborts()));
+  }
+  res.remasters = cluster.remaster().remasters_completed();
+  res.migrations = cluster.migration().migrations_completed();
+  res.migrated_bytes = cluster.migration().migrated_bytes();
+  return res;
+}
+
+}  // namespace lion

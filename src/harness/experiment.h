@@ -1,0 +1,81 @@
+// End-to-end experiment runner: cluster + protocol + workload + metrics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/lion_protocol.h"
+#include "core/predictor.h"
+#include "metrics/metrics.h"
+#include "protocols/clay.h"
+#include "protocols/protocol.h"
+#include "replication/cluster.h"
+#include "workload/dynamic.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace lion {
+
+/// Declarative description of one experiment run. Protocol names:
+///   standard: "2PC", "Leap", "Clay", "Lion", and the ablation variants
+///             "Lion(S)", "Lion(R)", "Lion(SW)", "Lion(RW)"
+///   batch:    "Star", "Calvin", "Hermes", "Aria", "Lotus",
+///             "Lion(RB)", "Lion(B)"  (Lion(B) = full batch Lion)
+/// Workloads: "ycsb", "tpcc", "ycsb-hotspot-interval", "ycsb-hotspot-position".
+struct ExperimentConfig {
+  std::string protocol = "Lion";
+  std::string workload = "ycsb";
+  ClusterConfig cluster;
+  YcsbConfig ycsb;
+  TpccConfig tpcc;
+  /// Period length for the dynamic scenarios (paper: 60 s, scaled here).
+  SimTime dynamic_period = 5 * kSecond;
+
+  /// Closed-loop concurrency; 0 = derive from the protocol type
+  /// (nodes x workers for standard, a large open window for batch).
+  int concurrency = 0;
+  SimTime warmup = 1 * kSecond;
+  SimTime duration = 3 * kSecond;
+  uint64_t seed = 1;
+
+  LionOptions lion;          // tuned per variant by the factory
+  PredictorConfig predictor;
+  ClayConfig clay;
+};
+
+/// Everything measured in one run.
+struct ExperimentResult {
+  std::string protocol;
+  double throughput = 0.0;  // committed txns / measured second
+  uint64_t committed = 0;
+  uint64_t aborts = 0;
+  uint64_t single_node = 0;
+  uint64_t remastered = 0;
+  uint64_t distributed = 0;
+  double p10_us = 0.0, p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;
+  PhaseBreakdown breakdown;
+  /// Throughput per stats window over the whole run (incl. warmup).
+  std::vector<double> window_throughput;
+  /// Network bytes per committed txn, per stats window.
+  std::vector<double> window_bytes_per_txn;
+  double bytes_per_txn = 0.0;
+  uint64_t remasters = 0;
+  uint64_t migrations = 0;
+  uint64_t migrated_bytes = 0;
+  SimTime window = 0;
+};
+
+/// True if `protocol` buffers transactions into epochs.
+bool IsBatchProtocol(const std::string& protocol);
+
+/// Builds a protocol instance by name. `predictor_out`, when non-null,
+/// receives ownership of the predictor created for Lion(.W) variants.
+std::unique_ptr<Protocol> MakeProtocol(
+    const ExperimentConfig& cfg, Cluster* cluster, MetricsCollector* metrics,
+    std::unique_ptr<PredictorInterface>* predictor_out);
+
+/// Runs the experiment to completion and gathers all metrics.
+ExperimentResult RunExperiment(const ExperimentConfig& cfg);
+
+}  // namespace lion

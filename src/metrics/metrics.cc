@@ -1,0 +1,65 @@
+#include "metrics/metrics.h"
+
+namespace lion {
+
+MetricsCollector::MetricsCollector(SimTime window)
+    : window_(window),
+      measure_start_(0),
+      measuring_(true),
+      committed_(0),
+      warmup_committed_(0),
+      aborts_(0),
+      single_node_(0),
+      remastered_(0),
+      distributed_(0) {}
+
+void MetricsCollector::StartMeasurement(SimTime now) {
+  measuring_ = true;
+  measure_start_ = now;
+  warmup_committed_ += committed_;
+  committed_ = 0;
+  aborts_ = 0;
+  single_node_ = 0;
+  remastered_ = 0;
+  distributed_ = 0;
+  latency_.Reset();
+  breakdown_sum_ = PhaseBreakdown{};
+}
+
+void MetricsCollector::OnCommit(const Transaction& txn, SimTime now) {
+  size_t w = static_cast<size_t>(now / window_);
+  if (window_commits_.size() <= w) window_commits_.resize(w + 1, 0);
+  window_commits_[w]++;
+
+  if (!measuring_) {
+    warmup_committed_++;
+    return;
+  }
+  committed_++;
+  switch (txn.exec_class()) {
+    case ExecClass::kSingleNode:
+      single_node_++;
+      break;
+    case ExecClass::kRemastered:
+      remastered_++;
+      break;
+    case ExecClass::kDistributed:
+      distributed_++;
+      break;
+  }
+  latency_.Record(now - txn.created_at());
+  breakdown_sum_.Add(txn.breakdown());
+}
+
+double MetricsCollector::Throughput(SimTime now) const {
+  SimTime elapsed = now - measure_start_;
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(committed_) / ToSeconds(elapsed);
+}
+
+double MetricsCollector::WindowThroughput(size_t i) const {
+  if (i >= window_commits_.size()) return 0.0;
+  return static_cast<double>(window_commits_[i]) / ToSeconds(window_);
+}
+
+}  // namespace lion

@@ -1,0 +1,68 @@
+// Experiment-wide measurement: throughput series, latency, breakdowns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "txn/transaction.h"
+
+namespace lion {
+
+/// Collects everything the paper's evaluation reports: committed/aborted
+/// counts by execution class, a commit-latency histogram, the phase
+/// breakdown (Fig. 14b), and a bucketed throughput time series (Figs. 8,
+/// 10, 12a, 13a).
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(SimTime window = 100 * kMillisecond);
+
+  /// Records a committed transaction at simulated time `now`.
+  void OnCommit(const Transaction& txn, SimTime now);
+
+  /// Records one abort-and-restart event.
+  void OnAbort() { aborts_++; }
+
+  /// Resets the aggregate counters and marks the measurement start, so that
+  /// warmup-period commits are excluded. The time-series windows are not
+  /// reset. Measurement is active from construction; calling this is only
+  /// needed when a warmup period should be discarded.
+  void StartMeasurement(SimTime now);
+
+  // --- aggregate accessors ---------------------------------------------------
+  uint64_t committed() const { return committed_; }
+  uint64_t aborts() const { return aborts_; }
+  uint64_t single_node() const { return single_node_; }
+  uint64_t remastered() const { return remastered_; }
+  uint64_t distributed() const { return distributed_; }
+
+  /// Committed txns per second over the measured interval ending at `now`.
+  double Throughput(SimTime now) const;
+
+  const Histogram& latency() const { return latency_; }
+  const PhaseBreakdown& breakdown_sum() const { return breakdown_sum_; }
+
+  /// Commits per window since t=0 (including warmup), for time-series plots.
+  const std::vector<uint64_t>& window_commits() const { return window_commits_; }
+  SimTime window() const { return window_; }
+
+  /// Throughput (txn/s) of window `i`.
+  double WindowThroughput(size_t i) const;
+
+ private:
+  SimTime window_;
+  SimTime measure_start_;
+  bool measuring_;
+  uint64_t committed_;
+  uint64_t warmup_committed_;
+  uint64_t aborts_;
+  uint64_t single_node_;
+  uint64_t remastered_;
+  uint64_t distributed_;
+  Histogram latency_;
+  PhaseBreakdown breakdown_sum_;
+  std::vector<uint64_t> window_commits_;
+};
+
+}  // namespace lion

@@ -1,0 +1,71 @@
+#include "ml/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lion {
+
+void Matrix::RandomInit(Rng* rng, double scale) {
+  for (double& v : data_) v = (rng->NextDouble() * 2.0 - 1.0) * scale;
+}
+
+void Matrix::Zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+void Matrix::MatVecAccum(const Vec& x, Vec* y) const {
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = &data_[r * cols_];
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    (*y)[r] += acc;
+  }
+}
+
+void Matrix::MatTVecAccum(const Vec& x, Vec* y) const {
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    double xr = x[r];
+    for (size_t c = 0; c < cols_; ++c) (*y)[c] += row[c] * xr;
+  }
+}
+
+void Matrix::OuterAccum(const Vec& a, const Vec& b) {
+  for (size_t r = 0; r < rows_; ++r) {
+    double ar = a[r];
+    double* row = &data_[r * cols_];
+    for (size_t c = 0; c < cols_; ++c) row[c] += ar * b[c];
+  }
+}
+
+namespace vecops {
+
+void Zero(Vec* v) { std::fill(v->begin(), v->end(), 0.0); }
+
+void Add(const Vec& a, Vec* out) {
+  for (size_t i = 0; i < a.size(); ++i) (*out)[i] += a[i];
+}
+
+void Hadamard(const Vec& a, const Vec& b, Vec* out) {
+  out->resize(a.size());
+  for (size_t i = 0; i < a.size(); ++i) (*out)[i] = a[i] * b[i];
+}
+
+void HadamardAccum(const Vec& a, const Vec& b, Vec* out) {
+  for (size_t i = 0; i < a.size(); ++i) (*out)[i] += a[i] * b[i];
+}
+
+double Dot(const Vec& a, const Vec& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm(const Vec& a) { return std::sqrt(Dot(a, a)); }
+
+double CosineSimilarity(const Vec& a, const Vec& b) {
+  double na = Norm(a), nb = Norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+}  // namespace vecops
+}  // namespace lion

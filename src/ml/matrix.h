@@ -1,0 +1,61 @@
+// Minimal dense linear algebra for the LSTM (no external dependencies).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lion {
+
+using Vec = std::vector<double>;
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  Vec& data() { return data_; }
+  const Vec& data() const { return data_; }
+
+  /// Fills with uniform values in [-scale, scale] (Xavier-style init).
+  void RandomInit(Rng* rng, double scale);
+
+  void Zero();
+
+  /// y += M x  (y: rows, x: cols)
+  void MatVecAccum(const Vec& x, Vec* y) const;
+
+  /// y += M^T x  (y: cols, x: rows) — used for backprop.
+  void MatTVecAccum(const Vec& x, Vec* y) const;
+
+  /// M += a b^T (outer product accumulation; a: rows, b: cols).
+  void OuterAccum(const Vec& a, const Vec& b);
+
+ private:
+  size_t rows_, cols_;
+  Vec data_;
+};
+
+/// Elementwise helpers used by the LSTM cell.
+namespace vecops {
+
+void Zero(Vec* v);
+void Add(const Vec& a, Vec* out);                  // out += a
+void Hadamard(const Vec& a, const Vec& b, Vec* out);  // out = a*b (resize)
+void HadamardAccum(const Vec& a, const Vec& b, Vec* out);  // out += a*b
+double Dot(const Vec& a, const Vec& b);
+double Norm(const Vec& a);
+
+/// Cosine similarity in [-1, 1]; 0 if either vector is all-zero.
+double CosineSimilarity(const Vec& a, const Vec& b);
+
+}  // namespace vecops
+}  // namespace lion

@@ -1,0 +1,36 @@
+// Aria baseline: deterministic OCC via per-batch write reservations.
+#pragma once
+
+#include <unordered_map>
+
+#include "protocols/batch_protocol.h"
+
+namespace lion {
+
+/// Aria executes every transaction of a batch optimistically against the
+/// batch-start snapshot, then reserves its writes. With Aria's reordering,
+/// write-write conflicts commit in transaction-id order; readers of keys a
+/// smaller transaction write-reserved (read-after-write hazards) abort and
+/// re-execute in the next batch. No prior knowledge of read/write sets is
+/// required, but the abort rate grows with contention (Sec. VI-D1).
+class AriaProtocol : public BatchProtocol {
+ public:
+  AriaProtocol(Cluster* cluster, MetricsCollector* metrics);
+
+  std::string name() const override { return "Aria"; }
+
+  uint64_t reservation_aborts() const { return reservation_aborts_; }
+
+ protected:
+  void ExecuteBatch(std::vector<Item> batch) override;
+
+ private:
+  struct BatchState;
+
+  void ReservePhase(const std::shared_ptr<BatchState>& state, size_t index);
+  void CommitPhase(const std::shared_ptr<BatchState>& state);
+
+  uint64_t reservation_aborts_ = 0;
+};
+
+}  // namespace lion

@@ -1,0 +1,96 @@
+// Shared machinery for epoch/batch execution protocols (Star, Calvin,
+// Hermes, Aria, Lotus and batch-mode Lion all collect transactions into
+// batches delimited by the global epoch).
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "protocols/protocol.h"
+
+namespace lion {
+
+/// Buffers submitted transactions and flushes them as a batch every epoch
+/// (or when the batch-size cap is reached). Subclasses implement
+/// ExecuteBatch; aborted items can be re-queued into the next batch with
+/// Requeue (deterministic protocols never abort).
+class BatchProtocol : public Protocol {
+ public:
+  BatchProtocol(Cluster* cluster, MetricsCollector* metrics,
+                size_t max_batch = 10000)
+      : Protocol(cluster, metrics), max_batch_(max_batch) {}
+
+  void Start() override {
+    if (started_) return;
+    started_ = true;
+    cluster_->sim()->ScheduleWeak(cluster_->config().epoch_interval,
+                                  [this]() { Tick(); });
+  }
+
+  void Submit(TxnPtr txn, TxnDoneFn done) override {
+    OnSubmit(*txn);
+    buffer_.push_back(Item{std::make_shared<TxnPtr>(std::move(txn)),
+                           std::move(done)});
+    if (buffer_.size() >= max_batch_) Flush();
+  }
+
+ protected:
+  struct Item {
+    std::shared_ptr<TxnPtr> txn;
+    TxnDoneFn done;
+  };
+
+  /// Hook: bookkeeping on submission (access recording etc.).
+  virtual void OnSubmit(const Transaction& txn) { (void)txn; }
+
+  /// Executes one flushed batch. Items are in submission order.
+  virtual void ExecuteBatch(std::vector<Item> batch) = 0;
+
+  /// Completes an item: records the commit and returns ownership.
+  void Commit(Item* item) {
+    metrics_->OnCommit(**item->txn, cluster_->sim()->Now());
+    item->done(std::move(*item->txn));
+  }
+
+  /// Re-queues an aborted item into the next batch.
+  void Requeue(Item item) {
+    metrics_->OnAbort();
+    (*item.txn)->ResetForRestart();
+    buffer_.push_back(std::move(item));
+  }
+
+  /// Commits `item` once the current epoch closes (group visibility).
+  void CommitAtEpochEnd(Item* item) {
+    SimTime wait_start = cluster_->sim()->Now();
+    auto txn = item->txn;
+    auto done = item->done;
+    cluster_->replication().OnEpochEnd([this, txn, done, wait_start]() {
+      (*txn)->breakdown().replication += cluster_->sim()->Now() - wait_start;
+      metrics_->OnCommit(**txn, cluster_->sim()->Now());
+      done(std::move(*txn));
+    });
+  }
+
+  void Flush() {
+    if (buffer_.empty()) return;
+    std::vector<Item> batch;
+    batch.swap(buffer_);
+    ExecuteBatch(std::move(batch));
+  }
+
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  void Tick() {
+    Flush();
+    cluster_->sim()->ScheduleWeak(cluster_->config().epoch_interval,
+                                  [this]() { Tick(); });
+  }
+
+  size_t max_batch_;
+  bool started_ = false;
+  std::vector<Item> buffer_;
+};
+
+}  // namespace lion

@@ -1,0 +1,43 @@
+// Calvin baseline: deterministic execution with per-node lock managers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "protocols/batch_protocol.h"
+#include "sim/worker_pool.h"
+
+namespace lion {
+
+struct CalvinConfig {
+  /// Lock-manager processing time per lock request (one per op).
+  SimTime lock_cost_per_op = 2 * kMicrosecond;
+  /// Sequencer processing time per transaction (ordering/dispatch).
+  SimTime sequencer_cost_per_txn = 1 * kMicrosecond;
+};
+
+/// Calvin orders each batch through a sequencer, then a single-threaded
+/// lock manager per node grants locks in that fixed order. Participants
+/// exchange remote reads in one round and apply writes locally — no 2PC.
+/// Both the sequencer and the serial lock managers bound throughput, which
+/// is why deterministic approaches plateau as nodes are added (Fig. 11b).
+class CalvinProtocol : public BatchProtocol {
+ public:
+  CalvinProtocol(Cluster* cluster, MetricsCollector* metrics,
+                 CalvinConfig config = CalvinConfig{});
+
+  std::string name() const override { return "Calvin"; }
+
+ protected:
+  void ExecuteBatch(std::vector<Item> batch) override;
+
+ private:
+  void RunDeterministic(Item item);
+
+  CalvinConfig config_;
+  /// Single-threaded lock manager per node, plus one global sequencer.
+  std::vector<std::unique_ptr<WorkerPool>> lock_managers_;
+  std::unique_ptr<WorkerPool> sequencer_;
+};
+
+}  // namespace lion

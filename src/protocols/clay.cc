@@ -1,0 +1,90 @@
+#include "protocols/clay.h"
+
+#include <algorithm>
+
+#include "protocols/twopc.h"
+
+namespace lion {
+
+ClayProtocol::ClayProtocol(Cluster* cluster, MetricsCollector* metrics,
+                           ClayConfig config)
+    : Protocol(cluster, metrics),
+      engine_(cluster, metrics),
+      config_(config),
+      prev_busy_(cluster->num_nodes(), 0) {}
+
+void ClayProtocol::Start() {
+  if (started_) return;
+  started_ = true;
+  cluster_->sim()->ScheduleWeak(config_.monitor_interval, [this]() { Monitor(); });
+}
+
+void ClayProtocol::Monitor() {
+  cluster_->sim()->ScheduleWeak(config_.monitor_interval, [this]() { Monitor(); });
+
+  // Per-node worker busy time over the last monitoring window.
+  int n = cluster_->num_nodes();
+  std::vector<double> load(n, 0.0);
+  double total = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    SimTime busy = cluster_->pool(i)->busy_time();
+    load[i] = static_cast<double>(busy - prev_busy_[i]);
+    prev_busy_[i] = busy;
+    total += load[i];
+  }
+  if (total <= 0.0) return;
+  double avg = total / n;
+  NodeId hottest = 0, coolest = 0;
+  for (NodeId i = 1; i < n; ++i) {
+    if (load[i] > load[hottest]) hottest = i;
+    if (load[i] < load[coolest]) coolest = i;
+  }
+  if (load[hottest] <= avg * (1.0 + config_.epsilon)) return;  // balanced
+
+  // Build the migrating clump: the hottest partitions mastered on the
+  // overloaded node, each pulled together with its strongest co-accessed
+  // partner from recent history.
+  std::vector<PartitionId> on_hot = cluster_->router().PrimariesOn(hottest);
+  std::sort(on_hot.begin(), on_hot.end(), [this](PartitionId a, PartitionId b) {
+    return cluster_->router().RawFrequency(a) > cluster_->router().RawFrequency(b);
+  });
+  int moved = 0;
+  for (PartitionId pid : on_hot) {
+    if (moved >= config_.clump_budget) break;
+    moved++;
+    repartitions_++;
+    NodeId target = coolest;
+    // Asynchronous replication + remastering (per the paper's Clay setup).
+    if (cluster_->router().HasSecondary(target, pid)) {
+      cluster_->remaster().Remaster(pid, target, [](bool) {});
+    } else {
+      cluster_->migration().AddReplica(pid, target, [this, pid, target](bool ok) {
+        if (!ok) return;
+        cluster_->migration().EvictIfOverLimit(pid, target);
+        cluster_->remaster().Remaster(pid, target, [](bool) {});
+      });
+    }
+  }
+}
+
+void ClayProtocol::Submit(TxnPtr txn, TxnDoneFn done) {
+  std::vector<PartitionId> parts = txn->Partitions();
+  for (PartitionId pid : parts) cluster_->router().RecordAccess(pid);
+  history_.push_back(parts);
+  if (history_.size() > config_.history_capacity) history_.pop_front();
+
+  NodeId coord = TwoPcProtocol::RouteToMostPrimaries(*txn, cluster_->router());
+  Transaction* raw = txn.get();
+  auto txn_shared = std::make_shared<TxnPtr>(std::move(txn));
+  engine_.Run(raw, coord, TwoPhaseEngine::Options{},
+              [this, txn_shared, done](bool committed) {
+                if (committed) {
+                  metrics_->OnCommit(**txn_shared, cluster_->sim()->Now());
+                  done(std::move(*txn_shared));
+                } else {
+                  RetryAfterBackoff(std::move(*txn_shared), done);
+                }
+              });
+}
+
+}  // namespace lion

@@ -1,0 +1,53 @@
+// Clay baseline: load-triggered online repartitioning (Sec. II-B1).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "protocols/protocol.h"
+#include "txn/two_phase_engine.h"
+
+namespace lion {
+
+struct ClayConfig {
+  /// How often Clay checks node load.
+  SimTime monitor_interval = 500 * kMillisecond;
+  /// Load imbalance tolerance: repartitioning triggers when the hottest
+  /// node's worker-busy share exceeds (1 + epsilon) * average.
+  double epsilon = 0.20;
+  /// Partitions moved per repartitioning round (the migrating "clump").
+  int clump_budget = 3;
+  /// Co-access history window used to extend the clump.
+  size_t history_capacity = 8000;
+};
+
+/// Clay monitors per-node load and, upon detecting imbalance, migrates a
+/// clump of hot partitions (plus their strongest co-accessed partners) from
+/// the overloaded node to the least-loaded one. Per the paper's evaluation
+/// setup, movement uses asynchronous replication + remastering like Lion.
+/// Transactions themselves always run through standard OCC+2PC: Clay only
+/// repartitions for load balance, so it cannot eliminate all distributed
+/// transactions (Sec. VI-C1).
+class ClayProtocol : public Protocol {
+ public:
+  ClayProtocol(Cluster* cluster, MetricsCollector* metrics,
+               ClayConfig config = ClayConfig{});
+
+  std::string name() const override { return "Clay"; }
+  void Start() override;
+  void Submit(TxnPtr txn, TxnDoneFn done) override;
+
+  uint64_t repartitions() const { return repartitions_; }
+
+ private:
+  void Monitor();
+
+  TwoPhaseEngine engine_;
+  ClayConfig config_;
+  std::vector<SimTime> prev_busy_;
+  std::deque<std::vector<PartitionId>> history_;
+  uint64_t repartitions_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace lion

@@ -1,0 +1,48 @@
+// Hermes baseline: deterministic execution + prescient migration.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "protocols/batch_protocol.h"
+#include "sim/worker_pool.h"
+
+namespace lion {
+
+struct HermesConfig {
+  /// Lock-manager processing time per lock request.
+  SimTime lock_cost_per_op = 2 * kMicrosecond;
+};
+
+/// Hermes collects transactions in batches, reorders each batch so that
+/// transactions touching the same partitions are adjacent (prescient
+/// routing), migrates partitions on demand so each transaction becomes
+/// single-home, and then executes deterministically under a single-threaded
+/// per-node lock manager. Migration reuse within a batch tames ping-pong,
+/// but every workload shift still pays blocking migrations — the jitter of
+/// Figs. 8b/10.
+class HermesProtocol : public BatchProtocol {
+ public:
+  HermesProtocol(Cluster* cluster, MetricsCollector* metrics,
+                 HermesConfig config = HermesConfig{});
+
+  std::string name() const override { return "Hermes"; }
+
+  uint64_t migrations_requested() const { return migrations_requested_; }
+
+ protected:
+  void ExecuteBatch(std::vector<Item> batch) override;
+
+ private:
+  void MigrateThenRun(Item item);
+  void MigrateNext(std::shared_ptr<Item> item, NodeId dst,
+                   std::shared_ptr<std::vector<PartitionId>> missing,
+                   size_t index);
+  void RunLocal(std::shared_ptr<Item> item, NodeId dst);
+
+  HermesConfig config_;
+  std::vector<std::unique_ptr<WorkerPool>> lock_managers_;
+  uint64_t migrations_requested_ = 0;
+};
+
+}  // namespace lion

@@ -1,0 +1,32 @@
+// Leap baseline: aggressive transaction-level data migration (Sec. II-B1).
+#pragma once
+
+#include "protocols/protocol.h"
+#include "txn/two_phase_engine.h"
+
+namespace lion {
+
+/// Leap always migrates remote data to the local node before executing each
+/// operation ("pull" at transaction granularity), then commits locally and
+/// skips the prepare phase. Mastership moves are record-granule (only the
+/// working set transfers), but every move blocks the partition, so the
+/// "ping-pong" problem and load collapse under skew emerge naturally.
+class LeapProtocol : public Protocol {
+ public:
+  LeapProtocol(Cluster* cluster, MetricsCollector* metrics);
+
+  std::string name() const override { return "Leap"; }
+  void Submit(TxnPtr txn, TxnDoneFn done) override;
+
+  uint64_t migrations_requested() const { return migrations_requested_; }
+
+ private:
+  void MigrateNext(Transaction* txn, NodeId coord,
+                   std::shared_ptr<std::vector<PartitionId>> missing,
+                   size_t index, std::function<void(bool)> then);
+
+  TwoPhaseEngine engine_;
+  uint64_t migrations_requested_ = 0;
+};
+
+}  // namespace lion

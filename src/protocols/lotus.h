@@ -1,0 +1,43 @@
+// Lotus baseline: epoch-based execution with granule locks.
+#pragma once
+
+#include <vector>
+
+#include "protocols/batch_protocol.h"
+
+namespace lion {
+
+/// Lotus executes batches under partition-granule locks that are held until
+/// the epoch ends, with asynchronous commit and replication (near-zero
+/// scheduling cost). Single-home transactions are fast; under contention or
+/// high cross-partition ratios, granule conflicts abort transactions into
+/// the next epoch, inflating tail latency (Figs. 9, 14).
+class LotusProtocol : public BatchProtocol {
+ public:
+  /// Granules per partition: Lotus locks key-range chunks, not whole
+  /// partitions, which preserves intra-partition concurrency.
+  static constexpr int kGranulesPerPartition = 1024;
+
+  LotusProtocol(Cluster* cluster, MetricsCollector* metrics);
+
+  std::string name() const override { return "Lotus"; }
+
+  uint64_t granule_conflicts() const { return granule_conflicts_; }
+
+ protected:
+  void ExecuteBatch(std::vector<Item> batch) override;
+
+ private:
+  /// Granule id of one operation (partition chunk by key range).
+  int GranuleOf(PartitionId pid, Key key) const;
+
+  /// Reader/writer granule locks, held to the epoch boundary. Reads share;
+  /// writes are exclusive against both readers and other writers.
+  std::vector<TxnId> granule_writer_;
+  std::vector<uint32_t> granule_readers_;
+  uint64_t records_per_partition_;
+  uint64_t granule_conflicts_ = 0;
+  bool release_scheduled_ = false;
+};
+
+}  // namespace lion

@@ -1,0 +1,61 @@
+// Common interface for all transaction processing protocols.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "metrics/metrics.h"
+#include "replication/cluster.h"
+#include "txn/transaction.h"
+
+namespace lion {
+
+/// Completion callback: ownership of the transaction returns to the caller.
+using TxnDoneFn = std::function<void(TxnPtr)>;
+
+/// A transaction processing protocol (2PC, Leap, Clay, Star, Calvin, Aria,
+/// Hermes, Lotus, Lion). The driver submits transactions; the protocol
+/// routes, executes, retries on aborts, and finally hands each committed
+/// transaction back through the callback.
+class Protocol {
+ public:
+  Protocol(Cluster* cluster, MetricsCollector* metrics)
+      : cluster_(cluster), metrics_(metrics) {}
+  virtual ~Protocol() = default;
+
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Installs periodic machinery (planners, sequencers, epoch switchers).
+  /// Called once before any Submit.
+  virtual void Start() {}
+
+  /// Takes ownership of `txn`, drives it to commit (retrying internally on
+  /// aborts), then returns ownership via `done`.
+  virtual void Submit(TxnPtr txn, TxnDoneFn done) = 0;
+
+  Cluster* cluster() { return cluster_; }
+  MetricsCollector* metrics() { return metrics_; }
+
+ protected:
+  /// Re-submits an aborted transaction after a small randomized backoff.
+  void RetryAfterBackoff(TxnPtr txn, TxnDoneFn done) {
+    txn->ResetForRestart();
+    SimTime backoff =
+        static_cast<SimTime>(cluster_->sim()->rng().Uniform(100)) * kMicrosecond;
+    auto self = this;
+    // shared_ptr shim: std::function closures must be copyable.
+    auto txn_shared = std::make_shared<TxnPtr>(std::move(txn));
+    cluster_->sim()->Schedule(backoff, [self, txn_shared, done]() {
+      self->Submit(std::move(*txn_shared), done);
+    });
+  }
+
+  Cluster* cluster_;
+  MetricsCollector* metrics_;
+};
+
+}  // namespace lion

@@ -1,0 +1,105 @@
+#include "protocols/star.h"
+
+#include "protocols/batch_util.h"
+
+namespace lion {
+
+StarProtocol::StarProtocol(Cluster* cluster, MetricsCollector* metrics,
+                           StarConfig config)
+    : BatchProtocol(cluster, metrics), config_(config) {}
+
+void StarProtocol::Start() {
+  // Deployment assumption of Star: the super node is provisioned with a
+  // replica of every partition up front (asymmetric replication).
+  for (PartitionId pid = 0; pid < cluster_->num_partitions(); ++pid) {
+    ReplicaGroup* g = cluster_->router().mutable_group(pid);
+    if (!g->HasReplica(config_.super_node)) {
+      g->AddSecondary(config_.super_node, g->primary_lsn());
+    }
+  }
+  BatchProtocol::Start();
+}
+
+void StarProtocol::ExecuteBatch(std::vector<Item> batch) {
+  // Partition phase: single-home transactions execute on their home nodes.
+  // Single-master phase: cross-partition transactions run on the super node
+  // after the phase switch.
+  std::vector<Item> cross;
+  for (auto& item : batch) {
+    Transaction* txn = item.txn->get();
+    if (batch_util::IsSingleHome(cluster_, *txn)) {
+      NodeId home = batch_util::HomeNode(cluster_, *txn);
+      txn->set_exec_class(ExecClass::kSingleNode);
+      txn->set_coordinator(home);
+      Transaction* raw = txn;
+      auto item_shared = std::make_shared<Item>(std::move(item));
+      SimTime start = cluster_->sim()->Now();
+      batch_util::ReadPhase(cluster_, raw, home, [this, raw, home, item_shared,
+                                                  start]() {
+        raw->breakdown().execution += cluster_->sim()->Now() - start;
+        SimTime apply_start = cluster_->sim()->Now();
+        batch_util::ApplyWrites(cluster_, raw, home,
+                                [this, raw, item_shared, apply_start]() {
+                                  raw->breakdown().commit +=
+                                      cluster_->sim()->Now() - apply_start;
+                                  CommitAtEpochEnd(item_shared.get());
+                                });
+      });
+    } else {
+      cross.push_back(std::move(item));
+    }
+  }
+  if (cross.empty()) return;
+  // Phase switch barrier, then route every cross txn to the super node.
+  auto cross_shared = std::make_shared<std::vector<Item>>(std::move(cross));
+  cluster_->sim()->Schedule(config_.phase_switch_delay, [this, cross_shared]() {
+    for (auto& item : *cross_shared) RunOnSuperNode(std::move(item));
+  });
+}
+
+void StarProtocol::RunOnSuperNode(Item item) {
+  const ClusterConfig& cfg = cluster_->config();
+  Transaction* txn = item.txn->get();
+  super_node_txns_++;
+  // All replicas are local on the super node: the transaction executes as a
+  // single-node one (the conversion Star achieves via its phase switching).
+  txn->set_exec_class(ExecClass::kRemastered);
+  txn->set_coordinator(config_.super_node);
+
+  int total_ops = static_cast<int>(txn->ops().size());
+  int total_writes = 0;
+  for (const auto& op : txn->ops())
+    if (op.type == OpType::kWrite) total_writes++;
+
+  auto item_shared = std::make_shared<Item>(std::move(item));
+  SimTime submit = cluster_->sim()->Now();
+  SimTime exec_cost = cfg.txn_setup_cost + txn->extra_compute() +
+                      total_ops * cfg.op_local_cost;
+  SimTime apply_cost = cfg.log_write_cost + total_writes * cfg.op_local_cost;
+
+  // Every cross transaction consumes super-node worker time: the bottleneck.
+  cluster_->pool(config_.super_node)
+      ->Submit(TaskPriority::kNew, exec_cost, [this, txn, item_shared, submit,
+                                               apply_cost]() {
+        txn->breakdown().scheduling += 0;
+        txn->breakdown().execution += cluster_->sim()->Now() - submit;
+        for (PartitionId pid : txn->Partitions()) {
+          (void)pid;
+        }
+        cluster_->pool(config_.super_node)
+            ->Submit(TaskPriority::kResume, apply_cost, [this, txn,
+                                                         item_shared]() {
+              SimTime apply_at = cluster_->sim()->Now();
+              for (const auto& op : txn->ops()) {
+                if (op.type != OpType::kWrite) continue;
+                cluster_->store(op.partition)->Apply(op.key, op.write_value);
+                cluster_->replication().Append(op.partition, op.key,
+                                               op.write_value);
+              }
+              txn->breakdown().commit += cluster_->sim()->Now() - apply_at;
+              CommitAtEpochEnd(item_shared.get());
+            });
+      });
+}
+
+}  // namespace lion

@@ -1,0 +1,42 @@
+// Star baseline: asymmetric full replication with phase switching.
+#pragma once
+
+#include "protocols/batch_protocol.h"
+
+namespace lion {
+
+struct StarConfig {
+  /// The node hosting the full replica set ("super node").
+  NodeId super_node = 0;
+  /// Cost of one partition-phase <-> single-master-phase switch per epoch.
+  SimTime phase_switch_delay = 300 * kMicrosecond;
+};
+
+/// Star keeps one node with replicas of every partition. Batches are split
+/// into a partition phase (single-home transactions run on their home
+/// nodes) and a single-master phase (every cross-partition transaction runs
+/// on the super node as a single-node transaction, no 2PC). The super node
+/// saturates as the cross-partition ratio grows — the bottleneck the paper
+/// attributes to full-replication designs.
+class StarProtocol : public BatchProtocol {
+ public:
+  StarProtocol(Cluster* cluster, MetricsCollector* metrics,
+               StarConfig config = StarConfig{});
+
+  std::string name() const override { return "Star"; }
+  void Start() override;
+
+  uint64_t super_node_txns() const { return super_node_txns_; }
+
+ protected:
+  void ExecuteBatch(std::vector<Item> batch) override;
+
+ private:
+  /// Runs one cross-partition transaction entirely on the super node.
+  void RunOnSuperNode(Item item);
+
+  StarConfig config_;
+  uint64_t super_node_txns_ = 0;
+};
+
+}  // namespace lion

@@ -1,0 +1,28 @@
+// Baseline: classic OCC + two-phase commit (Sec. VI-A2a).
+#pragma once
+
+#include "protocols/protocol.h"
+#include "txn/two_phase_engine.h"
+
+namespace lion {
+
+/// The standard distributed protocol of Fig. 1: transactions route to the
+/// node holding the most of their primary partitions and always undergo the
+/// execute / prepare / commit phases, with no placement adaptation.
+class TwoPcProtocol : public Protocol {
+ public:
+  TwoPcProtocol(Cluster* cluster, MetricsCollector* metrics);
+
+  std::string name() const override { return "2PC"; }
+  void Submit(TxnPtr txn, TxnDoneFn done) override;
+
+  /// Picks the node hosting the most primary partitions of `txn`
+  /// (ties: lowest id). Shared with other primary-affinity protocols.
+  static NodeId RouteToMostPrimaries(const Transaction& txn,
+                                     const RouterTable& table);
+
+ private:
+  TwoPhaseEngine engine_;
+};
+
+}  // namespace lion

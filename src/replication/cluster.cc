@@ -1,0 +1,48 @@
+#include "replication/cluster.h"
+
+namespace lion {
+
+Cluster::Cluster(Simulator* sim, const ClusterConfig& config)
+    : sim_(sim),
+      config_(config),
+      network_(sim, config.net),
+      router_(config.num_nodes, config.total_partitions()) {
+  router_.InitRoundRobin(config_.init_replicas);
+
+  pools_.reserve(config_.num_nodes);
+  for (NodeId n = 0; n < config_.num_nodes; ++n) {
+    pools_.push_back(std::make_unique<WorkerPool>(sim_, config_.workers_per_node));
+  }
+
+  std::vector<PartitionStore*> raw_stores;
+  stores_.reserve(config_.total_partitions());
+  for (PartitionId p = 0; p < config_.total_partitions(); ++p) {
+    stores_.push_back(std::make_unique<PartitionStore>(
+        p, config_.records_per_partition, config_.record_bytes));
+    raw_stores.push_back(stores_.back().get());
+  }
+
+  replication_ = std::make_unique<ReplicationManager>(sim_, &network_, &router_,
+                                                      raw_stores, config_);
+  remaster_ = std::make_unique<RemasterManager>(sim_, &network_, &router_,
+                                                raw_stores, config_);
+  migration_ = std::make_unique<MigrationManager>(
+      sim_, &network_, &router_, raw_stores, remaster_.get(), config_);
+}
+
+void Cluster::Start() { replication_->Start(); }
+
+NodeId Cluster::LeastLoadedNode() const {
+  NodeId best = 0;
+  double best_load = pools_[0]->Load();
+  for (NodeId n = 1; n < config_.num_nodes; ++n) {
+    double load = pools_[n]->Load();
+    if (load < best_load) {
+      best_load = load;
+      best = n;
+    }
+  }
+  return best;
+}
+
+}  // namespace lion

@@ -1,0 +1,89 @@
+#include "replication/failure_injector.h"
+
+#include <algorithm>
+
+namespace lion {
+
+FailureInjector::FailureInjector(Cluster* cluster)
+    : cluster_(cluster), down_(cluster->num_nodes(), false) {}
+
+void FailureInjector::FailNode(NodeId node) {
+  if (down_[node]) return;
+  down_[node] = true;
+  cluster_->router().SetNodeUp(node, false);
+
+  for (PartitionId pid = 0; pid < cluster_->num_partitions(); ++pid) {
+    ReplicaGroup* group = cluster_->router().mutable_group(pid);
+    if (group->primary() == node) {
+      Failover(pid, node);
+    } else if (group->HasReplica(node)) {
+      // A secondary died: just drop it from the group (log shipping to it
+      // stops; the planner may re-provision elsewhere).
+      group->RemoveSecondary(node);
+    }
+  }
+}
+
+void FailureInjector::Failover(PartitionId pid, NodeId dead) {
+  ReplicaGroup* group = cluster_->router().mutable_group(pid);
+
+  // Elect the most caught-up live secondary.
+  NodeId candidate = kInvalidNode;
+  Lsn best_lsn = 0;
+  for (const ReplicaInfo& sec : group->secondaries()) {
+    if (sec.delete_flag || down_[sec.node]) continue;
+    if (candidate == kInvalidNode || sec.applied_lsn > best_lsn) {
+      candidate = sec.node;
+      best_lsn = sec.applied_lsn;
+    }
+  }
+  if (candidate == kInvalidNode) {
+    // No live copy: the partition is unavailable until recovery.
+    unavailable_.push_back(pid);
+    group->set_reconfig_in_progress(true);
+    cluster_->store(pid)->set_write_blocked(true);
+    return;
+  }
+
+  // Election: block the partition, sync the lag, promote, drop the dead
+  // replica. Reuses the remastering cost model (Sec. III: the failover path
+  // and planned remastering share the log-sync + election mechanism).
+  const ClusterConfig& cfg = cluster_->config();
+  group->set_reconfig_in_progress(true);
+  cluster_->store(pid)->set_write_blocked(true);
+  Lsn lag = group->primary_lsn() - best_lsn;
+  SimTime delay = cfg.remaster_base_delay +
+                  static_cast<SimTime>(lag) * cfg.remaster_per_entry;
+  cluster_->sim()->Schedule(delay, [this, pid, candidate, dead]() {
+    ReplicaGroup* g = cluster_->router().mutable_group(pid);
+    g->Ack(candidate, g->primary_lsn());
+    g->Promote(candidate);
+    g->RemoveSecondary(dead);  // the old primary's copy died with the node
+    g->set_reconfig_in_progress(false);
+    cluster_->store(pid)->set_write_blocked(false);
+    failovers_completed_++;
+    cluster_->remaster().ReleaseWaiters(pid);
+  });
+}
+
+void FailureInjector::RecoverNode(NodeId node) {
+  if (!down_[node]) return;
+  down_[node] = false;
+  cluster_->router().SetNodeUp(node, true);
+  // Unavailable partitions whose only copy was on the recovered node become
+  // writable again (the copy survived the restart in this model).
+  std::vector<PartitionId> still_unavailable;
+  for (PartitionId pid : unavailable_) {
+    ReplicaGroup* group = cluster_->router().mutable_group(pid);
+    if (group->primary() == node) {
+      group->set_reconfig_in_progress(false);
+      cluster_->store(pid)->set_write_blocked(false);
+      cluster_->remaster().ReleaseWaiters(pid);
+    } else {
+      still_unavailable.push_back(pid);
+    }
+  }
+  unavailable_ = std::move(still_unavailable);
+}
+
+}  // namespace lion

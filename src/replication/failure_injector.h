@@ -1,0 +1,53 @@
+// Node failure injection and failover via secondary election.
+//
+// The replicas Lion piggybacks on exist for high availability (Sec. I-II):
+// when a node fails, every partition it mastered elects its most caught-up
+// live secondary as the new primary — the same log-sync + leader-election
+// path as planned remastering. This module injects such failures so tests
+// and experiments can observe availability and failover cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "replication/cluster.h"
+
+namespace lion {
+
+class FailureInjector {
+ public:
+  explicit FailureInjector(Cluster* cluster);
+
+  /// Fails `node` at the current simulated time. Every partition whose
+  /// primary lived there starts a failover election: the most caught-up
+  /// live secondary is promoted after syncing its log lag plus the election
+  /// delay; operations on the partition block meanwhile. Replicas hosted on
+  /// the failed node are dropped from their groups. Partitions left with no
+  /// live secondary become unavailable until RecoverNode.
+  void FailNode(NodeId node);
+
+  /// Brings `node` back empty: it rejoins with no replicas (the planner or
+  /// adaptors will re-provision it over time). Partitions that were
+  /// unavailable elect the recovered node's (stale) replica only if no
+  /// other copy exists — here they simply become available for new
+  /// placements.
+  void RecoverNode(NodeId node);
+
+  bool IsDown(NodeId node) const { return down_[node]; }
+
+  uint64_t failovers_completed() const { return failovers_completed_; }
+  uint64_t partitions_unavailable() const { return unavailable_.size(); }
+  const std::vector<PartitionId>& unavailable() const { return unavailable_; }
+
+ private:
+  void Failover(PartitionId pid, NodeId dead);
+
+  Cluster* cluster_;
+  std::vector<bool> down_;
+  std::vector<PartitionId> unavailable_;
+  uint64_t failovers_completed_ = 0;
+};
+
+}  // namespace lion

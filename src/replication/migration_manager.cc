@@ -1,0 +1,174 @@
+#include "replication/migration_manager.h"
+
+#include <limits>
+#include <memory>
+#include <utility>
+
+namespace lion {
+
+MigrationManager::MigrationManager(Simulator* sim, Network* network,
+                                   RouterTable* table,
+                                   std::vector<PartitionStore*> stores,
+                                   RemasterManager* remaster,
+                                   const ClusterConfig& config)
+    : sim_(sim),
+      network_(network),
+      table_(table),
+      stores_(std::move(stores)),
+      remaster_(remaster),
+      config_(config),
+      migrations_completed_(0),
+      migrated_bytes_(0),
+      evictions_(0) {}
+
+void MigrationManager::AddReplica(PartitionId pid, NodeId target,
+                                  std::function<void(bool)> done) {
+  if (!table_->IsNodeUp(target)) {
+    done(false);
+    return;
+  }
+  ReplicaGroup* group = table_->mutable_group(pid);
+  if (group->HasReplica(target)) {
+    // Already hosted; just clear any delete flag so the replica stays.
+    group->AddSecondary(target, 0);
+    done(true);
+    return;
+  }
+  NodeId src = group->primary();
+  uint64_t bytes = stores_[pid]->SizeBytes();
+  Lsn snapshot_lsn = group->primary_lsn();
+  migrated_bytes_ += bytes;
+
+  auto done_shared = std::make_shared<std::function<void(bool)>>(std::move(done));
+  // Background copy: snapshot stream + fixed setup. Writes proceed at the
+  // primary meanwhile; the new secondary starts at the snapshot LSN and
+  // catches up through normal log shipping.
+  sim_->Schedule(config_.migration_base_delay, [this, pid, src, target, bytes,
+                                                snapshot_lsn, done_shared]() {
+    network_->Send(src, target, bytes, [this, pid, target, snapshot_lsn,
+                                        done_shared]() {
+      table_->mutable_group(pid)->AddSecondary(target, snapshot_lsn);
+      migrations_completed_++;
+      (*done_shared)(true);
+    });
+  });
+}
+
+NodeId MigrationManager::EvictIfOverLimit(PartitionId pid, NodeId keep) {
+  ReplicaGroup* group = table_->mutable_group(pid);
+  if (group->LiveReplicaCount() <= config_.max_replicas) return kInvalidNode;
+  // Remove the secondary with the lowest access utility. All secondaries of
+  // one partition share the partition's frequency, so the least-recently
+  // caught-up (largest lag) replica is the cheapest to drop.
+  NodeId victim = kInvalidNode;
+  Lsn worst_lag = 0;
+  bool first = true;
+  for (const ReplicaInfo& sec : group->secondaries()) {
+    if (sec.delete_flag || sec.node == keep) continue;
+    Lsn lag = group->primary_lsn() - sec.applied_lsn;
+    if (first || lag > worst_lag) {
+      worst_lag = lag;
+      victim = sec.node;
+      first = false;
+    }
+  }
+  if (victim != kInvalidNode) {
+    group->FlagForDelete(victim);
+    evictions_++;
+    // Physical removal happens shortly after; flagged replicas already stop
+    // receiving log entries.
+    sim_->Schedule(config_.epoch_interval, [this, pid, victim]() {
+      ReplicaGroup* g = table_->mutable_group(pid);
+      // The victim may have been re-added (cleared flag) meanwhile.
+      for (const ReplicaInfo& sec : g->secondaries()) {
+        if (sec.node == victim && sec.delete_flag) {
+          g->RemoveSecondary(victim);
+          break;
+        }
+      }
+    });
+  }
+  return victim;
+}
+
+void MigrationManager::MoveMastershipLight(PartitionId pid, NodeId target,
+                                           uint64_t accessed_bytes,
+                                           std::function<void(bool)> done) {
+  ReplicaGroup* group = table_->mutable_group(pid);
+  if (group->primary() == target) {
+    done(true);
+    return;
+  }
+  if (group->reconfig_in_progress()) {
+    done(false);
+    return;
+  }
+  group->set_reconfig_in_progress(true);
+  stores_[pid]->set_write_blocked(true);
+  NodeId src = group->primary();
+  migrated_bytes_ += accessed_bytes;
+
+  auto done_shared = std::make_shared<std::function<void(bool)>>(std::move(done));
+  sim_->Schedule(config_.migration_base_delay, [this, pid, src, target,
+                                                accessed_bytes, done_shared]() {
+    network_->Send(src, target, accessed_bytes, [this, pid, target,
+                                                 done_shared]() {
+      ReplicaGroup* g = table_->mutable_group(pid);
+      g->AddSecondary(target, g->primary_lsn());
+      g->Promote(target);
+      g->set_reconfig_in_progress(false);
+      stores_[pid]->set_write_blocked(false);
+      migrations_completed_++;
+      EvictIfOverLimit(pid, target);
+      remaster_->ReleaseWaiters(pid);
+      (*done_shared)(true);
+    });
+  });
+}
+
+void MigrationManager::MovePrimary(PartitionId pid, NodeId target,
+                                   std::function<void(bool)> done) {
+  if (!table_->IsNodeUp(target)) {
+    done(false);
+    return;
+  }
+  ReplicaGroup* group = table_->mutable_group(pid);
+  if (group->primary() == target) {
+    done(true);
+    return;
+  }
+  if (group->HasSecondary(target)) {
+    remaster_->Remaster(pid, target, std::move(done));
+    return;
+  }
+  if (group->reconfig_in_progress()) {
+    done(false);
+    return;
+  }
+  // Full blocking copy: the "migration" whose downtime the paper attributes
+  // to Leap/Clay. Writes block for the whole transfer.
+  group->set_reconfig_in_progress(true);
+  stores_[pid]->set_write_blocked(true);
+  NodeId src = group->primary();
+  uint64_t bytes = stores_[pid]->SizeBytes();
+  migrated_bytes_ += bytes;
+
+  auto done_shared = std::make_shared<std::function<void(bool)>>(std::move(done));
+  sim_->Schedule(config_.migration_base_delay, [this, pid, src, target, bytes,
+                                                done_shared]() {
+    network_->Send(src, target, bytes, [this, pid, target, done_shared]() {
+      ReplicaGroup* g = table_->mutable_group(pid);
+      g->AddSecondary(target, g->primary_lsn());
+      g->Promote(target);
+      g->set_reconfig_in_progress(false);
+      stores_[pid]->set_write_blocked(false);
+      migrations_completed_++;
+      EvictIfOverLimit(pid, target);
+      // Release operations queued behind the block.
+      remaster_->ReleaseWaiters(pid);
+      (*done_shared)(true);
+    });
+  });
+}
+
+}  // namespace lion

@@ -1,0 +1,71 @@
+// Partition copy (AddReplica) and blocking primary movement (MovePrimary).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "replication/cluster_config.h"
+#include "replication/remaster_manager.h"
+#include "replication/router_table.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/partition_store.h"
+
+namespace lion {
+
+/// Data movement between nodes.
+///
+/// AddReplica models Lion's background replica provisioning (adaptor's
+/// AddRepReqHandler): a full partition copy streamed to the target without
+/// blocking the primary. MovePrimary models Leap/Clay-style migration: the
+/// partition is write-blocked while its bytes transfer, then mastership
+/// switches — the behaviour whose disruption Lion is designed to avoid.
+class MigrationManager {
+ public:
+  MigrationManager(Simulator* sim, Network* network, RouterTable* table,
+                   std::vector<PartitionStore*> stores,
+                   RemasterManager* remaster, const ClusterConfig& config);
+
+  /// Asynchronously copies `pid` to `target` and registers it as a
+  /// secondary. Non-blocking for foreground transactions. `done(false)` if
+  /// the target already holds a replica or a reconfiguration is in flight.
+  void AddReplica(PartitionId pid, NodeId target, std::function<void(bool)> done);
+
+  /// Flags the lowest-frequency removable secondary for deletion when the
+  /// live replica count exceeds `max_replicas`; returns the flagged node or
+  /// kInvalidNode. Never flags the primary or `keep`.
+  NodeId EvictIfOverLimit(PartitionId pid, NodeId keep);
+
+  /// Moves the primary of `pid` to `target`, blocking writes during the
+  /// transfer (Leap/Clay semantics). If `target` already has a live
+  /// secondary this degenerates to a remaster. `done(false)` on conflict.
+  void MovePrimary(PartitionId pid, NodeId target, std::function<void(bool)> done);
+
+  /// Record-granule mastership transfer (Leap/Hermes style): moves only the
+  /// working set (`accessed_bytes`), blocking the partition for the
+  /// transfer's duration, and leaves `target` as the new primary. Unlike
+  /// MovePrimary this never copies the whole partition, but it blocks
+  /// foreground operations every time it runs. `done(false)` on conflict.
+  void MoveMastershipLight(PartitionId pid, NodeId target,
+                           uint64_t accessed_bytes,
+                           std::function<void(bool)> done);
+
+  uint64_t migrations_completed() const { return migrations_completed_; }
+  uint64_t migrated_bytes() const { return migrated_bytes_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  Simulator* sim_;
+  Network* network_;
+  RouterTable* table_;
+  std::vector<PartitionStore*> stores_;
+  RemasterManager* remaster_;
+  ClusterConfig config_;
+
+  uint64_t migrations_completed_;
+  uint64_t migrated_bytes_;
+  uint64_t evictions_;
+};
+
+}  // namespace lion

@@ -1,0 +1,93 @@
+#include "replication/remaster_manager.h"
+
+#include <utility>
+#include <memory>
+
+namespace lion {
+
+RemasterManager::RemasterManager(Simulator* sim, Network* network,
+                                 RouterTable* table,
+                                 std::vector<PartitionStore*> stores,
+                                 const ClusterConfig& config)
+    : sim_(sim),
+      network_(network),
+      table_(table),
+      stores_(std::move(stores)),
+      config_(config),
+      remasters_completed_(0),
+      remasters_failed_(0),
+      total_remaster_time_(0) {}
+
+bool RemasterManager::IsBlocked(PartitionId pid) const {
+  return table_->group(pid).reconfig_in_progress();
+}
+
+void RemasterManager::WaitUntilAvailable(PartitionId pid,
+                                         std::function<void()> fn) {
+  if (!IsBlocked(pid)) {
+    fn();
+    return;
+  }
+  waiters_[pid].push_back(std::move(fn));
+}
+
+void RemasterManager::Remaster(PartitionId pid, NodeId target,
+                               std::function<void(bool)> done) {
+  ReplicaGroup* group = table_->mutable_group(pid);
+  if (group->primary() == target) {
+    done(true);
+    return;
+  }
+  if (group->reconfig_in_progress() || !group->HasSecondary(target) ||
+      !table_->IsNodeUp(target)) {
+    remasters_failed_++;
+    done(false);
+    return;
+  }
+
+  // Block the partition: only one primary may serve at any time (split-brain
+  // avoidance, Sec. III). New operations queue via WaitUntilAvailable.
+  group->set_reconfig_in_progress(true);
+  stores_[pid]->set_write_blocked(true);
+
+  Lsn lag = group->LagOf(target);
+  SimTime sync_time = config_.remaster_base_delay +
+                      static_cast<SimTime>(lag) * config_.remaster_per_entry;
+  NodeId old_primary = group->primary();
+
+  SimTime started = sim_->Now();
+  auto done_shared = std::make_shared<std::function<void(bool)>>(std::move(done));
+  // Control message to the candidate, then log sync + election time.
+  network_->Send(old_primary, target, MessageSizes::kRemasterCtl,
+                 [this, pid, target, sync_time, started, done_shared]() {
+                   sim_->Schedule(sync_time, [this, pid, target, started,
+                                              done_shared]() {
+                     ReplicaGroup* g = table_->mutable_group(pid);
+                     g->Ack(target, g->primary_lsn());
+                     g->Promote(target);
+                     total_remaster_time_ += sim_->Now() - started;
+                     remasters_completed_++;
+                     Finish(pid);
+                     (*done_shared)(true);
+                   });
+                 });
+}
+
+void RemasterManager::Finish(PartitionId pid) {
+  ReplicaGroup* group = table_->mutable_group(pid);
+  group->set_reconfig_in_progress(false);
+  stores_[pid]->set_write_blocked(false);
+  ReleaseWaiters(pid);
+}
+
+void RemasterManager::ReleaseWaiters(PartitionId pid) {
+  if (IsBlocked(pid)) return;
+  auto it = waiters_.find(pid);
+  if (it == waiters_.end()) return;
+  std::deque<std::function<void()>> pending;
+  pending.swap(it->second);
+  waiters_.erase(it);
+  for (auto& fn : pending) fn();
+}
+
+}  // namespace lion

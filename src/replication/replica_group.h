@@ -1,0 +1,140 @@
+// Replica placement metadata for one partition.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lion {
+
+/// One secondary replica's state.
+struct ReplicaInfo {
+  NodeId node = kInvalidNode;
+  /// Highest log sequence number applied at this replica. The gap to the
+  /// primary's LSN is the "lag" that remastering must synchronize.
+  Lsn applied_lsn = 0;
+  /// Set when the replica has been chosen for removal (max-replica limit);
+  /// replication stops shipping to flagged replicas (Sec. IV-B2).
+  bool delete_flag = false;
+};
+
+/// Placement and log state of all replicas of one partition.
+///
+/// Exactly one primary serves writes; secondaries receive the log
+/// asynchronously. This is metadata only — record data lives in the
+/// authoritative PartitionStore.
+class ReplicaGroup {
+ public:
+  ReplicaGroup() = default;
+  ReplicaGroup(PartitionId pid, NodeId primary) : pid_(pid), primary_(primary) {}
+
+  PartitionId partition() const { return pid_; }
+  NodeId primary() const { return primary_; }
+  Lsn primary_lsn() const { return primary_lsn_; }
+
+  const std::vector<ReplicaInfo>& secondaries() const { return secondaries_; }
+
+  /// True if `node` holds any replica (primary or secondary).
+  bool HasReplica(NodeId node) const {
+    return node == primary_ || FindSecondary(node) != nullptr;
+  }
+
+  /// True if `node` holds a live (non-delete-flagged) secondary replica.
+  bool HasSecondary(NodeId node) const {
+    const ReplicaInfo* info = FindSecondary(node);
+    return info != nullptr && !info->delete_flag;
+  }
+
+  /// Number of live replicas (primary + unflagged secondaries).
+  int LiveReplicaCount() const {
+    int n = 1;
+    for (const auto& s : secondaries_)
+      if (!s.delete_flag) n++;
+    return n;
+  }
+
+  /// Log lag of the secondary on `node`; 0 if it is the primary or absent.
+  Lsn LagOf(NodeId node) const {
+    const ReplicaInfo* info = FindSecondary(node);
+    if (info == nullptr) return 0;
+    return primary_lsn_ - info->applied_lsn;
+  }
+
+  /// Appends `entries` writes to the primary's log.
+  void Advance(Lsn entries) { primary_lsn_ += entries; }
+
+  /// Marks the secondary on `node` as caught up to `lsn`.
+  void Ack(NodeId node, Lsn lsn) {
+    ReplicaInfo* info = MutableSecondary(node);
+    if (info != nullptr && info->applied_lsn < lsn) info->applied_lsn = lsn;
+  }
+
+  /// Registers a new secondary on `node`, caught up to `lsn`.
+  /// No-op if the node already holds a replica (clears any delete flag).
+  void AddSecondary(NodeId node, Lsn lsn) {
+    if (node == primary_) return;
+    if (ReplicaInfo* info = MutableSecondary(node)) {
+      info->delete_flag = false;
+      if (info->applied_lsn < lsn) info->applied_lsn = lsn;
+      return;
+    }
+    secondaries_.push_back(ReplicaInfo{node, lsn, false});
+  }
+
+  /// Removes the secondary hosted on `node` (if any).
+  void RemoveSecondary(NodeId node) {
+    secondaries_.erase(
+        std::remove_if(secondaries_.begin(), secondaries_.end(),
+                       [node](const ReplicaInfo& r) { return r.node == node; }),
+        secondaries_.end());
+  }
+
+  /// Flags the secondary on `node` for deletion (replication stops).
+  void FlagForDelete(NodeId node) {
+    if (ReplicaInfo* info = MutableSecondary(node)) info->delete_flag = true;
+  }
+
+  /// Promotes the (caught-up) secondary on `node` to primary; the old
+  /// primary becomes a fully-caught-up secondary. Caller guarantees `node`
+  /// holds a secondary.
+  void Promote(NodeId node) {
+    NodeId old_primary = primary_;
+    RemoveSecondary(node);
+    primary_ = node;
+    AddSecondary(old_primary, primary_lsn_);
+  }
+
+  /// Used at bootstrap / by full-copy migration to change the primary when
+  /// `node` may not have held a replica before.
+  void ForcePrimary(NodeId node) {
+    if (node == primary_) return;
+    NodeId old_primary = primary_;
+    RemoveSecondary(node);
+    primary_ = node;
+    AddSecondary(old_primary, primary_lsn_);
+  }
+
+  bool reconfig_in_progress() const { return reconfig_in_progress_; }
+  void set_reconfig_in_progress(bool v) { reconfig_in_progress_ = v; }
+
+ private:
+  const ReplicaInfo* FindSecondary(NodeId node) const {
+    for (const auto& s : secondaries_)
+      if (s.node == node) return &s;
+    return nullptr;
+  }
+  ReplicaInfo* MutableSecondary(NodeId node) {
+    for (auto& s : secondaries_)
+      if (s.node == node) return &s;
+    return nullptr;
+  }
+
+  PartitionId pid_ = kInvalidPartition;
+  NodeId primary_ = kInvalidNode;
+  Lsn primary_lsn_ = 0;
+  bool reconfig_in_progress_ = false;
+  std::vector<ReplicaInfo> secondaries_;
+};
+
+}  // namespace lion

@@ -1,0 +1,107 @@
+#include "replication/replication_manager.h"
+
+#include <utility>
+#include <memory>
+
+namespace lion {
+
+namespace {
+uint64_t CopyKey(PartitionId pid, NodeId node) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(pid)) << 32) |
+         static_cast<uint32_t>(node);
+}
+}  // namespace
+
+ReplicationManager::ReplicationManager(Simulator* sim, Network* network,
+                                       RouterTable* table,
+                                       std::vector<PartitionStore*> stores,
+                                       const ClusterConfig& config)
+    : sim_(sim),
+      network_(network),
+      table_(table),
+      stores_(std::move(stores)),
+      config_(config),
+      epoch_(0),
+      epoch_started_at_(0),
+      started_(false),
+      total_entries_shipped_(0) {
+  pending_.resize(stores_.size());
+}
+
+void ReplicationManager::Start() {
+  if (started_) return;
+  started_ = true;
+  epoch_started_at_ = sim_->Now();
+  sim_->ScheduleWeak(config_.epoch_interval, [this]() { Tick(); });
+}
+
+void ReplicationManager::Append(PartitionId pid, Key key, Value value) {
+  pending_[pid].push_back(LogEntry{key, value});
+  table_->mutable_group(pid)->Advance(1);
+}
+
+void ReplicationManager::OnEpochEnd(std::function<void()> fn) {
+  epoch_waiters_.push_back(std::move(fn));
+  // Keep the simulation alive until the boundary that releases this waiter:
+  // the ticker itself is a weak event and would not, by itself, be run by
+  // RunUntilIdle.
+  sim_->Schedule(NextEpochEnd() - sim_->Now(), []() {});
+}
+
+SimTime ReplicationManager::NextEpochEnd() const {
+  return epoch_started_at_ + config_.epoch_interval;
+}
+
+void ReplicationManager::CloseEpochNow() {
+  // Ship all pending logs and release waiters, then restart the epoch timer
+  // from now.
+  epoch_++;
+  epoch_started_at_ = sim_->Now();
+  for (size_t pid = 0; pid < pending_.size(); ++pid) {
+    if (!pending_[pid].empty()) ShipPartition(static_cast<PartitionId>(pid));
+  }
+  std::vector<std::function<void()>> waiters;
+  waiters.swap(epoch_waiters_);
+  for (auto& fn : waiters) fn();
+}
+
+void ReplicationManager::Tick() {
+  CloseEpochNow();
+  sim_->ScheduleWeak(config_.epoch_interval, [this]() { Tick(); });
+}
+
+void ReplicationManager::ShipPartition(PartitionId pid) {
+  ReplicaGroup* group = table_->mutable_group(pid);
+  std::vector<LogEntry> entries;
+  entries.swap(pending_[pid]);
+  total_entries_shipped_ += entries.size();
+  Lsn target_lsn = group->primary_lsn();
+  NodeId primary = group->primary();
+
+  for (const ReplicaInfo& sec : group->secondaries()) {
+    if (sec.delete_flag) continue;  // flagged replicas stop receiving logs
+    NodeId dst = sec.node;
+    uint64_t bytes =
+        MessageSizes::kHeader + entries.size() * MessageSizes::kLogEntry;
+    if (config_.materialize_secondaries) {
+      auto payload = std::make_shared<std::vector<LogEntry>>(entries);
+      network_->Send(primary, dst, bytes, [this, pid, dst, target_lsn, payload]() {
+        auto& copy = copies_[CopyKey(pid, dst)];
+        for (const LogEntry& e : *payload) copy[e.key] = e.value;
+        table_->mutable_group(pid)->Ack(dst, target_lsn);
+      });
+    } else {
+      network_->Send(primary, dst, bytes, [this, pid, dst, target_lsn]() {
+        table_->mutable_group(pid)->Ack(dst, target_lsn);
+      });
+    }
+  }
+}
+
+const std::unordered_map<Key, Value>* ReplicationManager::MaterializedCopy(
+    PartitionId pid, NodeId node) const {
+  auto it = copies_.find(CopyKey(pid, node));
+  return it == copies_.end() ? nullptr : &it->second;
+}
+
+}  // namespace lion

@@ -1,0 +1,80 @@
+// Asynchronous log shipping with epoch-based group commit (Sec. V).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "replication/cluster_config.h"
+#include "replication/router_table.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/partition_store.h"
+
+namespace lion {
+
+/// Ships committed writes from each primary to its secondaries once per
+/// epoch (10 ms default), mirroring the paper's epoch-based group commit:
+/// commits inside an epoch become visible when the epoch ends and the
+/// buffered log entries are dispatched asynchronously to all replicas.
+class ReplicationManager {
+ public:
+  ReplicationManager(Simulator* sim, Network* network, RouterTable* table,
+                     std::vector<PartitionStore*> stores,
+                     const ClusterConfig& config);
+
+  /// Starts the periodic epoch ticker.
+  void Start();
+
+  /// Appends one committed write to the partition's replication log.
+  /// The write was already applied to the authoritative store by commit.
+  void Append(PartitionId pid, Key key, Value value);
+
+  /// Runs `fn` at the end of the current epoch (group-commit visibility).
+  void OnEpochEnd(std::function<void()> fn);
+
+  /// Time of the next epoch boundary.
+  SimTime NextEpochEnd() const;
+
+  /// Current epoch number.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Forces an immediate epoch close (used by batch protocols when the
+  /// batch-size limit is hit before the timer).
+  void CloseEpochNow();
+
+  /// Per-replica materialized copies for consistency tests. Only populated
+  /// when config.materialize_secondaries is set. Indexed [pid][node].
+  const std::unordered_map<Key, Value>* MaterializedCopy(PartitionId pid,
+                                                         NodeId node) const;
+
+  uint64_t total_entries_shipped() const { return total_entries_shipped_; }
+
+ private:
+  struct LogEntry {
+    Key key;
+    Value value;
+  };
+
+  void Tick();
+  void ShipPartition(PartitionId pid);
+
+  Simulator* sim_;
+  Network* network_;
+  RouterTable* table_;
+  std::vector<PartitionStore*> stores_;
+  ClusterConfig config_;
+
+  uint64_t epoch_;
+  SimTime epoch_started_at_;
+  bool started_;
+  uint64_t total_entries_shipped_;
+  std::vector<std::vector<LogEntry>> pending_;          // per partition
+  std::vector<std::function<void()>> epoch_waiters_;
+  // [pid][node] -> materialized secondary copy.
+  std::unordered_map<uint64_t, std::unordered_map<Key, Value>> copies_;
+};
+
+}  // namespace lion

@@ -1,0 +1,68 @@
+#include "replication/router_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lion {
+
+RouterTable::RouterTable(int num_nodes, int num_partitions)
+    : num_nodes_(num_nodes), node_up_(num_nodes, true), max_freq_(0.0) {
+  assert(num_nodes > 0 && num_partitions > 0);
+  groups_.reserve(num_partitions);
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    groups_.emplace_back(p, p % num_nodes);
+  }
+  freq_.assign(num_partitions, 0.0);
+}
+
+void RouterTable::InitRoundRobin(int replicas) {
+  assert(replicas >= 1);
+  for (auto& g : groups_) {
+    PartitionId p = g.partition();
+    for (int r = 1; r < replicas && r < num_nodes_; ++r) {
+      g.AddSecondary((p + r) % num_nodes_, 0);
+    }
+  }
+}
+
+void RouterTable::RecordAccess(PartitionId pid, double weight) {
+  freq_[pid] += weight;
+  max_freq_ = std::max(max_freq_, freq_[pid]);
+}
+
+double RouterTable::NormalizedFrequency(PartitionId pid) const {
+  if (max_freq_ <= 0.0) return 0.0;
+  return freq_[pid] / max_freq_;
+}
+
+void RouterTable::DecayFrequencies(double keep_fraction) {
+  max_freq_ = 0.0;
+  for (double& f : freq_) {
+    f *= keep_fraction;
+    max_freq_ = std::max(max_freq_, f);
+  }
+}
+
+double RouterTable::PrimaryLoad(NodeId node) const {
+  double load = 0.0;
+  for (const auto& g : groups_) {
+    if (g.primary() == node) load += freq_[g.partition()];
+  }
+  return load;
+}
+
+std::vector<PartitionId> RouterTable::PrimariesOn(NodeId node) const {
+  std::vector<PartitionId> out;
+  for (const auto& g : groups_) {
+    if (g.primary() == node) out.push_back(g.partition());
+  }
+  return out;
+}
+
+int RouterTable::TotalLiveReplicas() const {
+  int total = 0;
+  for (const auto& g : groups_) total += g.LiveReplicaCount();
+  return total;
+}
+
+}  // namespace lion

@@ -1,0 +1,35 @@
+#include "sim/network.h"
+
+#include <cmath>
+#include <utility>
+
+namespace lion {
+
+Network::Network(Simulator* sim, NetworkConfig config)
+    : sim_(sim), config_(config), total_bytes_(0), total_messages_(0) {}
+
+SimTime Network::TransferDelay(NodeId from, NodeId to, uint64_t bytes) const {
+  if (from == to) return config_.local_latency;
+  double serialization =
+      static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec * kSecond;
+  return config_.one_way_latency + static_cast<SimTime>(std::llround(serialization));
+}
+
+void Network::RollWindows() {
+  size_t idx = static_cast<size_t>(sim_->Now() / config_.stats_window);
+  if (window_bytes_.size() <= idx) window_bytes_.resize(idx + 1, 0);
+}
+
+void Network::Send(NodeId from, NodeId to, uint64_t bytes,
+                   std::function<void()> on_delivery) {
+  SimTime delay = TransferDelay(from, to, bytes);
+  if (from != to) {
+    total_bytes_ += bytes;
+    total_messages_ += 1;
+    RollWindows();
+    window_bytes_[static_cast<size_t>(sim_->Now() / config_.stats_window)] += bytes;
+  }
+  sim_->Schedule(delay, std::move(on_delivery));
+}
+
+}  // namespace lion

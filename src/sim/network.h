@@ -1,0 +1,72 @@
+// Network timing and byte-accounting model for the simulated cluster.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace lion {
+
+/// Tunable network characteristics. Defaults approximate the paper's
+/// testbed: ~937 Mbit/s links with ~100 us small-message round trips.
+struct NetworkConfig {
+  /// One-way propagation + kernel/stack latency for any remote message.
+  SimTime one_way_latency = 25 * kMicrosecond;
+  /// Link bandwidth in bytes per second (937 Mbit/s ~ 117 MB/s).
+  double bandwidth_bytes_per_sec = 117.0 * 1024 * 1024;
+  /// Cost of a loopback (same node) message.
+  SimTime local_latency = 1 * kMicrosecond;
+  /// Width of the bytes/messages accounting windows (Fig. 12b series).
+  SimTime stats_window = 100 * kMillisecond;
+};
+
+/// Delivers messages between simulated nodes with latency + serialization
+/// delay and tracks bytes/messages, both in total and per time window.
+class Network {
+ public:
+  Network(Simulator* sim, NetworkConfig config);
+
+  /// Sends `bytes` from `from` to `to`; `on_delivery` runs at arrival time.
+  /// Loopback messages cost `local_latency` and are not counted as network
+  /// traffic (matching how the paper reports network cost per transaction).
+  void Send(NodeId from, NodeId to, uint64_t bytes,
+            std::function<void()> on_delivery);
+
+  /// Computes the delivery delay without sending (used by cost models).
+  SimTime TransferDelay(NodeId from, NodeId to, uint64_t bytes) const;
+
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t total_messages() const { return total_messages_; }
+
+  /// Bytes sent within each completed stats window since construction.
+  const std::vector<uint64_t>& window_bytes() const { return window_bytes_; }
+
+  SimTime stats_window() const { return config_.stats_window; }
+
+ private:
+  void RollWindows();
+
+  Simulator* sim_;
+  NetworkConfig config_;
+  uint64_t total_bytes_;
+  uint64_t total_messages_;
+  std::vector<uint64_t> window_bytes_;
+};
+
+/// Standard message-size model shared by all protocols so byte accounting is
+/// apples-to-apples (header + per-operation payload).
+struct MessageSizes {
+  static constexpr uint64_t kHeader = 64;
+  static constexpr uint64_t kOpRequest = 48;    // key + metadata
+  static constexpr uint64_t kOpResponse = 16;   // value + status
+  static constexpr uint64_t kPrepare = 96;      // vote + log record header
+  static constexpr uint64_t kCommitDecision = 32;
+  static constexpr uint64_t kLogEntry = 64;     // replicated write record
+  static constexpr uint64_t kRemasterCtl = 128; // remaster control message
+  static constexpr uint64_t kPlanEntry = 24;    // plan action descriptor
+};
+
+}  // namespace lion

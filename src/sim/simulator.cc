@@ -1,0 +1,56 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace lion {
+
+Simulator::Simulator(uint64_t seed)
+    : now_(0), next_seq_(0), processed_(0), strong_pending_(0), rng_(seed) {}
+
+void Simulator::Push(SimTime at, bool weak, EventFn fn) {
+  if (at < now_) at = now_;
+  if (!weak) strong_pending_++;
+  queue_.push(Event{at, next_seq_++, weak, std::move(fn)});
+}
+
+void Simulator::Schedule(SimTime delay, EventFn fn) {
+  if (delay < 0) delay = 0;
+  Push(now_ + delay, /*weak=*/false, std::move(fn));
+}
+
+void Simulator::ScheduleAt(SimTime at, EventFn fn) {
+  Push(at, /*weak=*/false, std::move(fn));
+}
+
+void Simulator::ScheduleWeak(SimTime delay, EventFn fn) {
+  if (delay < 0) delay = 0;
+  Push(now_ + delay, /*weak=*/true, std::move(fn));
+}
+
+void Simulator::PopAndRun() {
+  // priority_queue::top() is const; move out via const_cast on the handler
+  // only, which is safe because we pop immediately after.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  assert(ev.at >= now_);
+  now_ = ev.at;
+  processed_++;
+  if (!ev.weak) strong_pending_--;
+  ev.fn();
+}
+
+void Simulator::RunUntil(SimTime until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    PopAndRun();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::RunUntilIdle() {
+  while (strong_pending_ > 0 && !queue_.empty()) {
+    PopAndRun();
+  }
+}
+
+}  // namespace lion

@@ -1,0 +1,85 @@
+// Discrete-event simulation core: a clock and an ordered event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace lion {
+
+/// Single-threaded discrete-event simulator.
+///
+/// Events are closures ordered by (time, insertion sequence); ties resolve in
+/// FIFO order, which keeps runs deterministic. All components in one
+/// experiment share the simulator's clock and RNG.
+///
+/// Events come in two strengths: regular ("strong") events represent real
+/// pending work, while *weak* events (periodic tickers: epoch group commit,
+/// planners, sequencers) do not keep the simulation alive — RunUntilIdle
+/// stops once only weak events remain.
+class Simulator {
+ public:
+  using EventFn = std::function<void()>;
+
+  explicit Simulator(uint64_t seed = 1);
+
+  /// Current simulated time (ns since experiment start).
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` ns from now (clamped to >= 0).
+  void Schedule(SimTime delay, EventFn fn);
+
+  /// Schedules `fn` at the absolute time `at` (clamped to >= Now()).
+  void ScheduleAt(SimTime at, EventFn fn);
+
+  /// Schedules a weak event: periodic background machinery that should not
+  /// prevent RunUntilIdle from terminating.
+  void ScheduleWeak(SimTime delay, EventFn fn);
+
+  /// Runs events until the queue is empty or the clock passes `until`.
+  /// Events scheduled exactly at `until` are executed; the clock always
+  /// advances to `until`.
+  void RunUntil(SimTime until);
+
+  /// Runs until no strong events remain.
+  void RunUntilIdle();
+
+  /// Number of events executed so far.
+  uint64_t processed_events() const { return processed_; }
+
+  /// Number of events currently pending (strong + weak).
+  size_t pending_events() const { return queue_.size(); }
+
+  /// The experiment-wide deterministic RNG.
+  Rng& rng() { return rng_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    bool weak;
+    EventFn fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Push(SimTime at, bool weak, EventFn fn);
+  void PopAndRun();
+
+  SimTime now_;
+  uint64_t next_seq_;
+  uint64_t processed_;
+  uint64_t strong_pending_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  Rng rng_;
+};
+
+}  // namespace lion

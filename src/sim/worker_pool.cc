@@ -1,0 +1,61 @@
+#include "sim/worker_pool.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace lion {
+
+WorkerPool::WorkerPool(Simulator* sim, int workers)
+    : sim_(sim), workers_(workers), busy_(0), busy_time_(0), completed_(0) {
+  assert(workers > 0);
+}
+
+size_t WorkerPool::queued_tasks() const {
+  return queues_[0].size() + queues_[1].size() + queues_[2].size();
+}
+
+double WorkerPool::Load() const {
+  return static_cast<double>(busy_) + static_cast<double>(queued_tasks());
+}
+
+void WorkerPool::Submit(TaskPriority priority, SimTime duration,
+                        std::function<void()> on_done) {
+  if (duration < 0) duration = 0;
+  queues_[static_cast<int>(priority)].push_back(Task{duration, std::move(on_done)});
+  TryDispatch();
+}
+
+void WorkerPool::TryDispatch() {
+  while (busy_ < workers_) {
+    Task task;
+    bool found = false;
+    for (auto& queue : queues_) {
+      if (!queue.empty()) {
+        task = std::move(queue.front());
+        queue.pop_front();
+        found = true;
+        break;
+      }
+    }
+    if (!found) return;
+    RunTask(std::move(task));
+  }
+}
+
+void WorkerPool::RunTask(Task task) {
+  busy_++;
+  busy_time_ += task.duration;
+  SimTime duration = task.duration;
+  // Capture the callback by shared ownership: the event queue requires
+  // copyable closures.
+  auto done = std::make_shared<std::function<void()>>(std::move(task.on_done));
+  sim_->Schedule(duration, [this, done]() {
+    busy_--;
+    completed_++;
+    if (*done) (*done)();
+    TryDispatch();
+  });
+}
+
+}  // namespace lion

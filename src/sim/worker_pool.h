@@ -1,0 +1,63 @@
+// Multi-server CPU model for one simulated node.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace lion {
+
+/// Task admission classes, highest priority first.
+///
+/// kService models the coco/Star worker loop serving incoming remote-op and
+/// control messages ahead of local work; kResume continues an in-flight
+/// transaction whose awaited response arrived; kNew admits a fresh
+/// transaction. Prioritizing service/resume over new admission is what keeps
+/// the simulated system work-conserving without deadlocking on full pools.
+enum class TaskPriority : int { kService = 0, kResume = 1, kNew = 2 };
+
+/// A pool of `k` workers on one node. Submitted tasks occupy a worker for a
+/// service duration, then run their completion callback. Excess tasks queue
+/// per priority class in FIFO order.
+class WorkerPool {
+ public:
+  WorkerPool(Simulator* sim, int workers);
+
+  /// Enqueues a task needing `duration` ns of worker time; `on_done` runs
+  /// when the task's service completes.
+  void Submit(TaskPriority priority, SimTime duration, std::function<void()> on_done);
+
+  int workers() const { return workers_; }
+  int busy_workers() const { return busy_; }
+  size_t queued_tasks() const;
+
+  /// Total worker-busy nanoseconds (for utilization reporting).
+  SimTime busy_time() const { return busy_time_; }
+
+  /// Tasks completed since construction.
+  uint64_t completed_tasks() const { return completed_; }
+
+  /// Approximate instantaneous load: busy workers + queued tasks.
+  double Load() const;
+
+ private:
+  struct Task {
+    SimTime duration;
+    std::function<void()> on_done;
+  };
+
+  void TryDispatch();
+  void RunTask(Task task);
+
+  Simulator* sim_;
+  int workers_;
+  int busy_;
+  SimTime busy_time_;
+  uint64_t completed_;
+  std::deque<Task> queues_[3];
+};
+
+}  // namespace lion

@@ -1,0 +1,59 @@
+#include "storage/partition_store.h"
+
+namespace lion {
+
+PartitionStore::PartitionStore(PartitionId id, uint64_t record_count,
+                               uint64_t record_bytes)
+    : id_(id), record_bytes_(record_bytes), write_blocked_(false) {
+  records_.reserve(record_count);
+  for (uint64_t k = 0; k < record_count; ++k) {
+    records_.emplace(static_cast<Key>(k), Record{static_cast<Value>(k), 1, 0});
+  }
+}
+
+Status PartitionStore::Read(Key key, Value* value, Version* version) const {
+  auto it = records_.find(key);
+  if (it == records_.end()) return Status::NotFound("key");
+  if (value != nullptr) *value = it->second.value;
+  if (version != nullptr) *version = it->second.version;
+  return Status::OK();
+}
+
+void PartitionStore::Apply(Key key, Value value) {
+  Record& rec = records_[key];
+  rec.value = value;
+  rec.version++;
+}
+
+Version PartitionStore::VersionOf(Key key) const {
+  auto it = records_.find(key);
+  return it == records_.end() ? 0 : it->second.version;
+}
+
+bool PartitionStore::TryLock(Key key, TxnId txn) {
+  Record& rec = records_[key];
+  if (rec.lock_holder == 0 || rec.lock_holder == txn) {
+    rec.lock_holder = txn;
+    return true;
+  }
+  return false;
+}
+
+void PartitionStore::Unlock(Key key, TxnId txn) {
+  auto it = records_.find(key);
+  if (it != records_.end() && it->second.lock_holder == txn) {
+    it->second.lock_holder = 0;
+  }
+}
+
+bool PartitionStore::IsLockedByOther(Key key, TxnId txn) const {
+  auto it = records_.find(key);
+  return it != records_.end() && it->second.lock_holder != 0 &&
+         it->second.lock_holder != txn;
+}
+
+void PartitionStore::Insert(Key key, Value value) {
+  records_[key] = Record{value, 1, 0};
+}
+
+}  // namespace lion

@@ -1,0 +1,78 @@
+// Authoritative per-partition record storage with versions and write locks.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lion {
+
+/// One stored record. `version` is bumped on every committed write and is the
+/// basis for OCC validation; `lock_holder` implements short write locks for
+/// the commit protocols and long granule locks for deterministic protocols.
+struct Record {
+  Value value = 0;
+  Version version = 0;
+  TxnId lock_holder = 0;  // 0 = unlocked
+};
+
+/// Authoritative key-value store for a single partition.
+///
+/// There is exactly one PartitionStore per partition regardless of replica
+/// count: replicas are placement metadata plus LSN lag (see ReplicaGroup).
+/// Optionally, secondary copies are materialized by the ReplicationManager
+/// for consistency testing.
+class PartitionStore {
+ public:
+  /// Creates the store and bulk-loads `record_count` records with keys
+  /// [0, record_count) and value = key (workloads override as needed).
+  /// `record_bytes` is only used for byte accounting (migration/replication).
+  PartitionStore(PartitionId id, uint64_t record_count, uint64_t record_bytes);
+
+  PartitionId id() const { return id_; }
+  uint64_t record_count() const { return records_.size(); }
+  uint64_t record_bytes() const { return record_bytes_; }
+
+  /// Total logical size used for migration cost accounting.
+  uint64_t SizeBytes() const { return records_.size() * record_bytes_; }
+
+  /// Reads a record (value + version). NotFound if absent.
+  Status Read(Key key, Value* value, Version* version) const;
+
+  /// Writes a committed value, bumping the version. Inserts if absent.
+  void Apply(Key key, Value value);
+
+  /// Returns the current version of `key`, or 0 if absent.
+  Version VersionOf(Key key) const;
+
+  /// Tries to acquire the record's write lock for `txn`. Succeeds if free or
+  /// already held by `txn` (re-entrant).
+  bool TryLock(Key key, TxnId txn);
+
+  /// Releases the record's lock if held by `txn`.
+  void Unlock(Key key, TxnId txn);
+
+  /// True if `key` is locked by a transaction other than `txn`.
+  bool IsLockedByOther(Key key, TxnId txn) const;
+
+  /// Inserts a brand-new record (used by workload loaders / insert ops).
+  void Insert(Key key, Value value);
+
+  bool Contains(Key key) const { return records_.count(key) > 0; }
+
+  /// Write-block flag used during remastering/migration: protocols consult
+  /// this before issuing writes to the partition.
+  bool write_blocked() const { return write_blocked_; }
+  void set_write_blocked(bool blocked) { write_blocked_ = blocked; }
+
+ private:
+  PartitionId id_;
+  uint64_t record_bytes_;
+  bool write_blocked_;
+  std::unordered_map<Key, Record> records_;
+};
+
+}  // namespace lion

@@ -1,0 +1,133 @@
+// Transaction representation shared by every protocol.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lion {
+
+enum class OpType : uint8_t { kRead, kWrite };
+
+/// One read or write in a transaction's logical plan, plus its runtime
+/// execution state (value/version observed for OCC).
+struct Operation {
+  PartitionId partition = kInvalidPartition;
+  Key key = 0;
+  OpType type = OpType::kRead;
+  /// Write of a brand-new unique key (e.g. TPC-C ORDER/ORDER-LINE rows).
+  /// Inserts cannot conflict with other transactions' accesses, so granule
+  /// lockers skip them.
+  bool is_insert = false;
+  Value write_value = 0;
+
+  // Runtime state, reset on restart.
+  Value read_value = 0;
+  Version read_version = 0;
+  bool executed = false;
+};
+
+/// How the transaction ultimately executed — the paper's three cases
+/// (Sec. III): directly on one node, on one node after remastering, or as a
+/// regular distributed transaction.
+enum class ExecClass : uint8_t { kSingleNode, kRemastered, kDistributed };
+
+/// Wall-time attribution buckets matching Fig. 14b.
+struct PhaseBreakdown {
+  SimTime scheduling = 0;   // queueing before first execution
+  SimTime execution = 0;    // read/write processing
+  SimTime commit = 0;       // prepare + commit coordination
+  SimTime replication = 0;  // secondary sync + group-commit visibility wait
+  SimTime other = 0;
+
+  SimTime Total() const {
+    return scheduling + execution + commit + replication + other;
+  }
+  void Add(const PhaseBreakdown& o) {
+    scheduling += o.scheduling;
+    execution += o.execution;
+    commit += o.commit;
+    replication += o.replication;
+    other += o.other;
+  }
+};
+
+/// A transaction: the workload generator fills in `ops` (the paper's
+/// TxnParts metadata is the distinct partition list derived from them) and
+/// protocols drive it to commit, possibly restarting it on OCC aborts.
+class Transaction {
+ public:
+  Transaction(TxnId id, SimTime created_at) : id_(id), created_at_(created_at) {}
+
+  TxnId id() const { return id_; }
+  SimTime created_at() const { return created_at_; }
+
+  std::vector<Operation>& ops() { return ops_; }
+  const std::vector<Operation>& ops() const { return ops_; }
+
+  /// Distinct partitions touched, ascending (the TxnParts of TxnMeta).
+  std::vector<PartitionId> Partitions() const {
+    std::vector<PartitionId> parts;
+    parts.reserve(ops_.size());
+    for (const auto& op : ops_) parts.push_back(op.partition);
+    std::sort(parts.begin(), parts.end());
+    parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
+    return parts;
+  }
+
+  /// Operations targeting `pid`, in plan order.
+  std::vector<Operation*> OpsOn(PartitionId pid) {
+    std::vector<Operation*> out;
+    for (auto& op : ops_)
+      if (op.partition == pid) out.push_back(&op);
+    return out;
+  }
+
+  bool HasWriteOn(PartitionId pid) const {
+    for (const auto& op : ops_)
+      if (op.partition == pid && op.type == OpType::kWrite) return true;
+    return false;
+  }
+
+  /// Additional coordinator-side compute (TPC-C business logic).
+  SimTime extra_compute() const { return extra_compute_; }
+  void set_extra_compute(SimTime t) { extra_compute_ = t; }
+
+  /// Clears runtime state so the transaction can re-execute after an abort.
+  void ResetForRestart() {
+    for (auto& op : ops_) {
+      op.read_value = 0;
+      op.read_version = 0;
+      op.executed = false;
+    }
+    restarts_++;
+  }
+
+  int restarts() const { return restarts_; }
+
+  NodeId coordinator() const { return coordinator_; }
+  void set_coordinator(NodeId n) { coordinator_ = n; }
+
+  ExecClass exec_class() const { return exec_class_; }
+  void set_exec_class(ExecClass c) { exec_class_ = c; }
+
+  PhaseBreakdown& breakdown() { return breakdown_; }
+  const PhaseBreakdown& breakdown() const { return breakdown_; }
+
+ private:
+  TxnId id_;
+  SimTime created_at_;
+  SimTime extra_compute_ = 0;
+  std::vector<Operation> ops_;
+  int restarts_ = 0;
+  NodeId coordinator_ = kInvalidNode;
+  ExecClass exec_class_ = ExecClass::kSingleNode;
+  PhaseBreakdown breakdown_;
+};
+
+using TxnPtr = std::unique_ptr<Transaction>;
+
+}  // namespace lion

@@ -1,0 +1,64 @@
+// Shared transaction execution engine: execution / prepare / commit phases
+// with OCC validation, following the standard protocol of Sec. II-A.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "metrics/metrics.h"
+#include "replication/cluster.h"
+#include "txn/transaction.h"
+
+namespace lion {
+
+/// Drives one transaction from a coordinator node through the execution,
+/// prepare, and commit phases of Fig. 1. Used directly by the 2PC baseline
+/// and reused by Leap, Clay, and Lion for their distributed fallback path.
+///
+/// Single-node transactions (all primaries on the coordinator) take the
+/// one-shot path: execute, validate, apply — skipping the prepare round
+/// trips entirely (Sec. III step 1).
+class TwoPhaseEngine {
+ public:
+  struct Options {
+    /// Replicate prepare records to secondaries synchronously and wait for
+    /// their acknowledgements before voting (Fig. 1's prepare logging).
+    bool sync_prepare_replication = true;
+    /// Delay commit acknowledgement to the epoch boundary (group commit
+    /// visibility, used by Lion and Lotus).
+    bool group_commit_visibility = false;
+  };
+
+  TwoPhaseEngine(Cluster* cluster, MetricsCollector* metrics);
+
+  /// Executes `txn` from `coordinator`. `done(true)` on commit, with locks
+  /// released and writes applied+logged; `done(false)` on an OCC abort with
+  /// all locks released (the caller decides whether to retry).
+  ///
+  /// The admission cost (txn_setup + extra_compute) is charged on the
+  /// coordinator at kNew priority; breakdown timing fields of the txn are
+  /// updated in place.
+  void Run(Transaction* txn, NodeId coordinator, const Options& opts,
+           std::function<void(bool)> done);
+
+ private:
+  struct Ctx;
+
+  void StartExecution(const std::shared_ptr<Ctx>& ctx);
+  void ExecutePartition(const std::shared_ptr<Ctx>& ctx, PartitionId pid);
+  void OnExecutionDone(const std::shared_ptr<Ctx>& ctx);
+  void RunSingleNodeCommit(const std::shared_ptr<Ctx>& ctx);
+  void StartPrepare(const std::shared_ptr<Ctx>& ctx);
+  void PreparePartition(const std::shared_ptr<Ctx>& ctx, PartitionId pid);
+  void OnVote(const std::shared_ptr<Ctx>& ctx, bool yes);
+  void StartCommit(const std::shared_ptr<Ctx>& ctx);
+  void AbortPrepared(const std::shared_ptr<Ctx>& ctx);
+  void Finalize(const std::shared_ptr<Ctx>& ctx, bool committed);
+
+  Cluster* cluster_;
+  MetricsCollector* metrics_;
+};
+
+}  // namespace lion

@@ -1,0 +1,212 @@
+#include "workload/tpcc.h"
+
+#include <set>
+
+namespace lion {
+
+TpccWorkload::TpccWorkload(const ClusterConfig& cluster, const TpccConfig& config)
+    : num_nodes_(cluster.num_nodes),
+      num_warehouses_(cluster.total_partitions()),
+      config_(config) {}
+
+void TpccWorkload::Load(Cluster* cluster) {
+  for (PartitionId w = 0; w < num_warehouses_; ++w) {
+    PartitionStore* store = cluster->store(w);
+    store->Insert(MakeKey(kWarehouse, 0), 0);
+    for (int d = 0; d < config_.districts_per_warehouse; ++d) {
+      store->Insert(MakeKey(kDistrict, d), 1);  // value: next_o_id seed
+      for (int c = 0; c < config_.customers_per_district; ++c) {
+        store->Insert(
+            MakeKey(kCustomer, d * config_.customers_per_district + c), 0);
+      }
+    }
+    for (int i = 0; i < config_.items; ++i) {
+      store->Insert(MakeKey(kItem, i), 100 + i);
+      store->Insert(MakeKey(kStock, i), 91);  // s_quantity
+    }
+  }
+}
+
+PartitionId TpccWorkload::PickWarehouse(Rng* rng) const {
+  if (config_.skew_factor > 0.0 && rng->Bernoulli(config_.skew_factor)) {
+    int per_node = num_warehouses_ / num_nodes_;
+    int idx = static_cast<int>(rng->Uniform(per_node));
+    return config_.hot_node + idx * num_nodes_;
+  }
+  return static_cast<PartitionId>(rng->Uniform(num_warehouses_));
+}
+
+PartitionId TpccWorkload::RemoteWarehouse(PartitionId home, Rng* rng) const {
+  // "The same customer makes purchases from different warehouses over time"
+  // (Sec. VI-A1): each warehouse's customers have a stable partner
+  // warehouse, giving the co-access structure the planner can exploit.
+  PartitionId partner = home ^ 1;
+  if (partner >= num_warehouses_) partner = home > 0 ? home - 1 : home;
+  if (partner != home) return partner;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    PartitionId w = static_cast<PartitionId>(rng->Uniform(num_warehouses_));
+    if (w != home) return w;
+  }
+  return home;
+}
+
+TxnPtr TpccWorkload::Next(TxnId id, SimTime now, Rng* rng) {
+  double r = rng->NextDouble();
+  if (r < config_.payment_ratio) return PaymentTxn(id, now, rng);
+  r -= config_.payment_ratio;
+  if (r < config_.delivery_ratio) return DeliveryTxn(id, now, rng);
+  r -= config_.delivery_ratio;
+  if (r < config_.order_status_ratio) return OrderStatusTxn(id, now, rng);
+  r -= config_.order_status_ratio;
+  if (r < config_.stock_level_ratio) return StockLevelTxn(id, now, rng);
+  return NewOrderTxn(id, now, rng);
+}
+
+TxnPtr TpccWorkload::NewOrderTxn(TxnId id, SimTime now, Rng* rng) {
+  auto txn = std::make_unique<Transaction>(id, now);
+  txn->set_extra_compute(config_.think_time);
+  PartitionId w = PickWarehouse(rng);
+  int d = static_cast<int>(rng->Uniform(config_.districts_per_warehouse));
+  int c = static_cast<int>(rng->Uniform(config_.customers_per_district));
+  bool remote = config_.remote_ratio > 0.0 && rng->Bernoulli(config_.remote_ratio);
+  PartitionId remote_w = remote ? RemoteWarehouse(w, rng) : w;
+
+  auto add = [&txn](PartitionId pid, Key key, OpType type, Value v = 0,
+                    bool insert = false) {
+    Operation op;
+    op.partition = pid;
+    op.key = key;
+    op.type = type;
+    op.is_insert = insert;
+    op.write_value = v;
+    txn->ops().push_back(op);
+  };
+
+  // Warehouse tax rate (read), district next_o_id (read-modify-write: the
+  // classic contention point), customer discount (read).
+  add(w, MakeKey(kWarehouse, 0), OpType::kRead);
+  add(w, MakeKey(kDistrict, d), OpType::kWrite, id);  // bump next_o_id
+  add(w, MakeKey(kCustomer, d * config_.customers_per_district + c),
+      OpType::kRead);
+  // Insert ORDER and NEW-ORDER rows (keys unique per transaction).
+  add(w, MakeKey(kOrder, id), OpType::kWrite, id, /*insert=*/true);
+  add(w, MakeKey(kNewOrder, id), OpType::kWrite, id, /*insert=*/true);
+
+  int lines = static_cast<int>(
+      rng->UniformRange(config_.min_order_lines, config_.max_order_lines));
+  for (int l = 0; l < lines; ++l) {
+    uint64_t item = rng->Uniform(config_.items);
+    // ITEM is replicated read-only: read it at the home warehouse.
+    add(w, MakeKey(kItem, item), OpType::kRead);
+    // Stock read-modify-write, possibly at the remote warehouse: the last
+    // line goes remote in a remote NewOrder (TPC-C: ~1% per line; here the
+    // txn-level remote_ratio knob drives the cross-partition share).
+    PartitionId stock_w = (remote && l == lines - 1) ? remote_w : w;
+    add(stock_w, MakeKey(kStock, item), OpType::kWrite, id);
+    // Insert ORDER-LINE.
+    add(w, MakeKey(kOrderLine, id * 16 + l), OpType::kWrite, id,
+        /*insert=*/true);
+  }
+  return txn;
+}
+
+TxnPtr TpccWorkload::PaymentTxn(TxnId id, SimTime now, Rng* rng) {
+  auto txn = std::make_unique<Transaction>(id, now);
+  txn->set_extra_compute(config_.think_time);
+  PartitionId w = PickWarehouse(rng);
+  int d = static_cast<int>(rng->Uniform(config_.districts_per_warehouse));
+  int c = static_cast<int>(rng->Uniform(config_.customers_per_district));
+  bool remote_cust = config_.remote_payment_ratio > 0.0 &&
+                     rng->Bernoulli(config_.remote_payment_ratio);
+  PartitionId cust_w = remote_cust ? RemoteWarehouse(w, rng) : w;
+
+  auto add = [&txn](PartitionId pid, Key key, OpType type, Value v = 0,
+                    bool insert = false) {
+    Operation op;
+    op.partition = pid;
+    op.key = key;
+    op.type = type;
+    op.is_insert = insert;
+    op.write_value = v;
+    txn->ops().push_back(op);
+  };
+  // Warehouse and district YTD updates, customer balance update, history row.
+  add(w, MakeKey(kWarehouse, 0), OpType::kWrite, id);
+  add(w, MakeKey(kDistrict, d), OpType::kWrite, id);
+  add(cust_w, MakeKey(kCustomer, d * config_.customers_per_district + c),
+      OpType::kWrite, id);
+  add(w, MakeKey(kHistory, id), OpType::kWrite, id, /*insert=*/true);
+  return txn;
+}
+
+TxnPtr TpccWorkload::DeliveryTxn(TxnId id, SimTime now, Rng* rng) {
+  // Delivery processes the oldest undelivered order of every district of
+  // one warehouse: per district, delete the NEW-ORDER row, update the ORDER
+  // row's carrier id, and update the customer balance. Single-warehouse.
+  auto txn = std::make_unique<Transaction>(id, now);
+  txn->set_extra_compute(config_.think_time * 2);  // batch of 10 districts
+  PartitionId w = PickWarehouse(rng);
+  auto add = [&txn](PartitionId pid, Key key, OpType type, Value v = 0,
+                    bool insert = false) {
+    Operation op;
+    op.partition = pid;
+    op.key = key;
+    op.type = type;
+    op.is_insert = insert;
+    op.write_value = v;
+    txn->ops().push_back(op);
+  };
+  for (int d = 0; d < config_.districts_per_warehouse; ++d) {
+    // The oldest undelivered order id is approximated by the district seed;
+    // the NEW-ORDER delete and ORDER update are writes on per-txn keys.
+    add(w, MakeKey(kNewOrder, id * 16 + d), OpType::kWrite, 0, /*insert=*/true);
+    add(w, MakeKey(kOrder, id * 16 + d), OpType::kWrite, id, /*insert=*/true);
+    int c = static_cast<int>(rng->Uniform(config_.customers_per_district));
+    add(w, MakeKey(kCustomer, d * config_.customers_per_district + c),
+        OpType::kWrite, id);
+  }
+  return txn;
+}
+
+TxnPtr TpccWorkload::OrderStatusTxn(TxnId id, SimTime now, Rng* rng) {
+  // Read-only: customer row plus their most recent order and its lines.
+  auto txn = std::make_unique<Transaction>(id, now);
+  txn->set_extra_compute(config_.think_time);
+  PartitionId w = PickWarehouse(rng);
+  int d = static_cast<int>(rng->Uniform(config_.districts_per_warehouse));
+  int c = static_cast<int>(rng->Uniform(config_.customers_per_district));
+  auto add = [&txn](PartitionId pid, Key key) {
+    Operation op;
+    op.partition = pid;
+    op.key = key;
+    op.type = OpType::kRead;
+    txn->ops().push_back(op);
+  };
+  add(w, MakeKey(kCustomer, d * config_.customers_per_district + c));
+  add(w, MakeKey(kOrder, id));  // last order (approximated key)
+  for (int l = 0; l < 5; ++l) add(w, MakeKey(kOrderLine, id * 16 + l));
+  return txn;
+}
+
+TxnPtr TpccWorkload::StockLevelTxn(TxnId id, SimTime now, Rng* rng) {
+  // Read-only: district next_o_id, then the stock rows of the items in the
+  // last 20 orders, counting those below a threshold.
+  auto txn = std::make_unique<Transaction>(id, now);
+  txn->set_extra_compute(config_.think_time * 2);
+  PartitionId w = PickWarehouse(rng);
+  int d = static_cast<int>(rng->Uniform(config_.districts_per_warehouse));
+  auto add = [&txn](PartitionId pid, Key key) {
+    Operation op;
+    op.partition = pid;
+    op.key = key;
+    op.type = OpType::kRead;
+    txn->ops().push_back(op);
+  };
+  add(w, MakeKey(kDistrict, d));
+  std::set<uint64_t> items;
+  while (items.size() < 12) items.insert(rng->Uniform(config_.items));
+  for (uint64_t item : items) add(w, MakeKey(kStock, item));
+  return txn;
+}
+
+}  // namespace lion

@@ -1,0 +1,84 @@
+// Scaled TPC-C workload: NewOrder + Payment over warehouse partitions.
+#pragma once
+
+#include "replication/cluster.h"
+#include "workload/workload.h"
+
+namespace lion {
+
+struct TpccConfig {
+  int districts_per_warehouse = 10;
+  int customers_per_district = 120;  // scaled from 3000
+  int items = 1000;                  // scaled from 100000
+  /// Order lines per NewOrder: uniform in [min, max] (spec: 5..15).
+  int min_order_lines = 5;
+  int max_order_lines = 15;
+  /// Fraction of NewOrder transactions that buy from a remote warehouse
+  /// ("the same customer makes purchases from different warehouses over
+  /// time", Sec. VI-A1). Plays the role of the cross-partition ratio.
+  double remote_ratio = 0.1;
+  /// Fraction of Payment transactions in the mix (0 = pure NewOrder).
+  double payment_ratio = 0.0;
+  /// Payment: probability the customer belongs to a remote warehouse.
+  double remote_payment_ratio = 0.15;
+  /// Fractions of the remaining transaction types (evaluation default 0:
+  /// the paper focuses on NewOrder; the full TPC-C mix is 4/4/4%).
+  double delivery_ratio = 0.0;
+  double order_status_ratio = 0.0;
+  double stock_level_ratio = 0.0;
+  /// Fraction of transactions targeting the hot node's warehouses.
+  double skew_factor = 0.0;
+  NodeId hot_node = 0;
+  /// Coordinator-side business logic time per transaction.
+  SimTime think_time = 5 * kMicrosecond;
+};
+
+/// TPC-C with one warehouse per partition. The nine relations are encoded
+/// into the flat key space (table tag in the high bits); ITEM is read-only
+/// and treated as locally replicated, per common practice.
+class TpccWorkload : public WorkloadGenerator {
+ public:
+  /// Key-space tags for the nine relations.
+  enum Table : uint64_t {
+    kWarehouse = 1,
+    kDistrict = 2,
+    kCustomer = 3,
+    kHistory = 4,
+    kNewOrder = 5,
+    kOrder = 6,
+    kOrderLine = 7,
+    kItem = 8,
+    kStock = 9,
+  };
+
+  TpccWorkload(const ClusterConfig& cluster, const TpccConfig& config);
+
+  std::string name() const override { return "tpcc"; }
+  TxnPtr Next(TxnId id, SimTime now, Rng* rng) override;
+
+  /// Loads warehouse/district/customer/item/stock rows into the stores so
+  /// reads observe real versions (district rows carry the next_o_id
+  /// contention point). Call once before driving transactions.
+  void Load(Cluster* cluster);
+
+  static Key MakeKey(Table table, uint64_t id) {
+    return (static_cast<uint64_t>(table) << 40) | id;
+  }
+
+  TpccConfig& config() { return config_; }
+
+ private:
+  TxnPtr NewOrderTxn(TxnId id, SimTime now, Rng* rng);
+  TxnPtr PaymentTxn(TxnId id, SimTime now, Rng* rng);
+  TxnPtr DeliveryTxn(TxnId id, SimTime now, Rng* rng);
+  TxnPtr OrderStatusTxn(TxnId id, SimTime now, Rng* rng);
+  TxnPtr StockLevelTxn(TxnId id, SimTime now, Rng* rng);
+  PartitionId PickWarehouse(Rng* rng) const;
+  PartitionId RemoteWarehouse(PartitionId home, Rng* rng) const;
+
+  int num_nodes_;
+  int num_warehouses_;  // == total partitions
+  TpccConfig config_;
+};
+
+}  // namespace lion

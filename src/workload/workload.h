@@ -1,0 +1,27 @@
+// Workload generator interface.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "txn/transaction.h"
+
+namespace lion {
+
+/// Produces the stream of transactions the driver feeds into a protocol.
+/// Implementations: YCSB, TPC-C, and dynamic wrappers that shift hotspots
+/// over simulated time (Sec. VI-C2).
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Generates the next transaction. `now` lets dynamic workloads pick the
+  /// active phase; `rng` is the experiment's deterministic generator.
+  virtual TxnPtr Next(TxnId id, SimTime now, Rng* rng) = 0;
+};
+
+}  // namespace lion

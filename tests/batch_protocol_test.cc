@@ -1,0 +1,139 @@
+// Direct tests of the shared BatchProtocol machinery via a minimal concrete
+// subclass: epoch-aligned flushing, size-cap flushing, requeue-on-abort, and
+// epoch-end commit visibility.
+#include <gtest/gtest.h>
+
+#include "protocols/batch_protocol.h"
+
+namespace lion {
+namespace {
+
+/// Test double: commits every transaction instantly at execution time,
+/// optionally aborting each transaction's first attempt.
+class RecordingBatchProtocol : public BatchProtocol {
+ public:
+  RecordingBatchProtocol(Cluster* cluster, MetricsCollector* metrics,
+                         size_t max_batch, bool abort_first_attempt)
+      : BatchProtocol(cluster, metrics, max_batch),
+        abort_first_(abort_first_attempt) {}
+
+  std::string name() const override { return "test-batch"; }
+
+  std::vector<size_t> batch_sizes;
+  std::vector<SimTime> flush_times;
+
+ protected:
+  void ExecuteBatch(std::vector<Item> batch) override {
+    batch_sizes.push_back(batch.size());
+    flush_times.push_back(cluster_->sim()->Now());
+    for (auto& item : batch) {
+      TxnId id = (*item.txn)->id();
+      if (abort_first_ && attempted_.insert(id).second) {
+        Requeue(std::move(item));
+        continue;
+      }
+      CommitAtEpochEnd(&item);
+    }
+  }
+
+ private:
+  bool abort_first_;
+  std::set<TxnId> attempted_;
+};
+
+ClusterConfig Cfg() {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.partitions_per_node = 1;
+  cfg.records_per_partition = 100;
+  cfg.record_bytes = 100;
+  return cfg;
+}
+
+TxnPtr Txn(TxnId id) {
+  auto t = std::make_unique<Transaction>(id, 0);
+  Operation op;
+  op.partition = 0;
+  op.key = 1;
+  op.type = OpType::kRead;
+  t->ops().push_back(op);
+  return t;
+}
+
+TEST(BatchProtocolTest, FlushesOncePerEpoch) {
+  Simulator sim;
+  ClusterConfig cfg = Cfg();
+  Cluster cluster(&sim, cfg);
+  cluster.Start();
+  MetricsCollector metrics;
+  RecordingBatchProtocol proto(&cluster, &metrics, 1000, false);
+  proto.Start();
+  int done = 0;
+  for (int i = 0; i < 5; ++i) proto.Submit(Txn(i + 1), [&](TxnPtr) { done++; });
+  sim.RunUntil(3 * cfg.epoch_interval);
+  ASSERT_EQ(proto.batch_sizes.size(), 1u);  // empty batches are not flushed
+  EXPECT_EQ(proto.batch_sizes[0], 5u);
+  EXPECT_EQ(proto.flush_times[0], cfg.epoch_interval);
+  EXPECT_EQ(done, 5);
+}
+
+TEST(BatchProtocolTest, SizeCapFlushesEarly) {
+  Simulator sim;
+  ClusterConfig cfg = Cfg();
+  Cluster cluster(&sim, cfg);
+  cluster.Start();
+  MetricsCollector metrics;
+  RecordingBatchProtocol proto(&cluster, &metrics, 3, false);
+  proto.Start();
+  for (int i = 0; i < 7; ++i) proto.Submit(Txn(i + 1), [](TxnPtr) {});
+  // Two size-triggered flushes at t=0; the remaining txn waits for the epoch.
+  ASSERT_GE(proto.batch_sizes.size(), 2u);
+  EXPECT_EQ(proto.batch_sizes[0], 3u);
+  EXPECT_EQ(proto.batch_sizes[1], 3u);
+  EXPECT_EQ(proto.flush_times[0], 0);
+  sim.RunUntil(2 * cfg.epoch_interval);
+  ASSERT_EQ(proto.batch_sizes.size(), 3u);
+  EXPECT_EQ(proto.batch_sizes[2], 1u);
+}
+
+TEST(BatchProtocolTest, RequeuedTxnsJoinNextBatchAndCommit) {
+  Simulator sim;
+  ClusterConfig cfg = Cfg();
+  Cluster cluster(&sim, cfg);
+  cluster.Start();
+  MetricsCollector metrics;
+  RecordingBatchProtocol proto(&cluster, &metrics, 1000, /*abort_first=*/true);
+  proto.Start();
+  int done = 0;
+  for (int i = 0; i < 4; ++i) proto.Submit(Txn(i + 1), [&](TxnPtr) { done++; });
+  sim.RunUntil(4 * cfg.epoch_interval);
+  EXPECT_EQ(done, 4);
+  EXPECT_EQ(metrics.aborts(), 4u);
+  // First flush carries the 4 fresh txns; the second carries the 4 retries.
+  ASSERT_GE(proto.batch_sizes.size(), 2u);
+  EXPECT_EQ(proto.batch_sizes[0], 4u);
+  EXPECT_EQ(proto.batch_sizes[1], 4u);
+  // Restart counters were bumped by Requeue.
+  EXPECT_EQ(metrics.committed(), 4u);
+}
+
+TEST(BatchProtocolTest, CommitVisibilityAtEpochBoundary) {
+  Simulator sim;
+  ClusterConfig cfg = Cfg();
+  Cluster cluster(&sim, cfg);
+  cluster.Start();
+  MetricsCollector metrics;
+  RecordingBatchProtocol proto(&cluster, &metrics, 1000, false);
+  proto.Start();
+  SimTime done_at = -1;
+  proto.Submit(Txn(1), [&](TxnPtr t) {
+    done_at = sim.Now();
+    EXPECT_GT(t->breakdown().replication, 0);
+  });
+  sim.RunUntil(5 * cfg.epoch_interval);
+  // Flushed at epoch 1, visible at epoch 2's boundary.
+  EXPECT_EQ(done_at, 2 * cfg.epoch_interval);
+}
+
+}  // namespace
+}  // namespace lion

@@ -1,0 +1,232 @@
+// Unit tests for src/common: Status, Rng, ZipfianGenerator, Histogram.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lion {
+namespace {
+
+// --- Status -----------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCodesRoundTrip) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists().IsAlreadyExists());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::FailedPrecondition().IsFailedPrecondition());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::Unavailable().IsUnavailable());
+  EXPECT_TRUE(Status::Internal().IsInternal());
+  EXPECT_FALSE(Status::NotFound().ok());
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  Status s = Status::Aborted("validation failed");
+  EXPECT_EQ(s.ToString(), "ABORTED: validation failed");
+}
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.Next64() == b.Next64()) same++;
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i)
+    if (rng.Bernoulli(0.3)) hits++;
+  double rate = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(5);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) counts[rng.WeightedIndex(weights)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(RngTest, WeightedIndexAllZeroReturnsZero) {
+  Rng rng(5);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.WeightedIndex(weights), 0u);
+}
+
+// --- Zipfian ----------------------------------------------------------------
+
+TEST(ZipfianTest, ThetaZeroIsUniform) {
+  Rng rng(13);
+  ZipfianGenerator zipf(10, 0.0);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[zipf.Next(&rng)]++;
+  for (auto& [v, c] : counts) {
+    EXPECT_LT(v, 10u);
+    EXPECT_NEAR(c, 5000, 500);
+  }
+}
+
+TEST(ZipfianTest, SkewConcentratesOnLowIndices) {
+  Rng rng(13);
+  ZipfianGenerator zipf(1000, 0.99);
+  int low = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i)
+    if (zipf.Next(&rng) < 10) low++;
+  // With theta=0.99, the top-10 of 1000 items draw a large share (> 30%).
+  EXPECT_GT(low, kTrials * 3 / 10);
+}
+
+TEST(ZipfianTest, AllValuesInRange) {
+  Rng rng(17);
+  ZipfianGenerator zipf(50, 0.8);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(&rng), 50u);
+}
+
+TEST(ZipfianTest, MonotoneFrequencyByRank) {
+  Rng rng(19);
+  ZipfianGenerator zipf(100, 0.9);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) counts[zipf.Next(&rng)]++;
+  // Head should dominate the tail.
+  EXPECT_GT(counts[0], counts[50] * 3);
+  EXPECT_GT(counts[0], counts[99]);
+}
+
+// --- Histogram ----------------------------------------------------------------
+
+TEST(HistogramTest, EmptyReturnsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1234);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Min(), 1234);
+  EXPECT_EQ(h.Max(), 1234);
+  EXPECT_NEAR(h.Percentile(0.5), 1234, 1234 * 0.07);
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) h.Record(static_cast<int64_t>(rng.Uniform(1000000)));
+  int64_t p10 = h.Percentile(0.10);
+  int64_t p50 = h.Percentile(0.50);
+  int64_t p95 = h.Percentile(0.95);
+  EXPECT_LE(p10, p50);
+  EXPECT_LE(p50, p95);
+  // Uniform distribution: p50 near 500k within bucket error.
+  EXPECT_NEAR(p50, 500000, 60000);
+  EXPECT_NEAR(p95, 950000, 90000);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Count(), 1u);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(10);
+  for (int i = 0; i < 100; ++i) b.Record(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 200u);
+  EXPECT_EQ(a.Min(), 10);
+  EXPECT_EQ(a.Max(), 1000000);
+  EXPECT_LE(a.Percentile(0.25), 11);
+  EXPECT_GT(a.Percentile(0.75), 900000);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Percentile(0.99), 0);
+}
+
+TEST(HistogramTest, LargeValues) {
+  Histogram h;
+  int64_t big = int64_t{1} << 40;
+  h.Record(big);
+  EXPECT_EQ(h.Max(), big);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), static_cast<double>(big),
+              static_cast<double>(big) * 0.07);
+}
+
+}  // namespace
+}  // namespace lion

@@ -1,0 +1,170 @@
+// Tests for the experiment harness: factory coverage, end-to-end runs for
+// every protocol name, and cross-protocol comparative sanity checks that
+// mirror the paper's headline claims at miniature scale.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace lion {
+namespace {
+
+ExperimentConfig BaseConfig() {
+  ExperimentConfig cfg;
+  cfg.cluster.num_nodes = 3;
+  cfg.cluster.partitions_per_node = 2;
+  cfg.cluster.records_per_partition = 2000;
+  cfg.cluster.record_bytes = 100;
+  cfg.cluster.remaster_base_delay = 500 * kMicrosecond;
+  cfg.warmup = 500 * kMillisecond;
+  cfg.duration = 1 * kSecond;
+  cfg.ycsb.ops_per_txn = 6;
+  cfg.ycsb.cross_ratio = 0.5;
+  cfg.lion.planner.interval = 250 * kMillisecond;
+  cfg.lion.planner.min_history = 32;
+  cfg.predictor.sample_interval = 100 * kMillisecond;
+  cfg.predictor.train_epochs = 3;  // keep unit tests fast
+  return cfg;
+}
+
+TEST(HarnessTest, IsBatchProtocolClassification) {
+  for (const char* p : {"Star", "Calvin", "Hermes", "Aria", "Lotus",
+                        "Lion(RB)", "Lion(B)"}) {
+    EXPECT_TRUE(IsBatchProtocol(p)) << p;
+  }
+  for (const char* p : {"2PC", "Leap", "Clay", "Lion", "Lion(S)", "Lion(R)",
+                        "Lion(SW)", "Lion(RW)"}) {
+    EXPECT_FALSE(IsBatchProtocol(p)) << p;
+  }
+}
+
+class AllProtocolsTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AllProtocolsTest, CommitsTransactionsOnYcsb) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.protocol = GetParam();
+  ExperimentResult res = RunExperiment(cfg);
+  EXPECT_GT(res.committed, 100u) << cfg.protocol;
+  EXPECT_GT(res.throughput, 0.0);
+  EXPECT_GT(res.p50_us, 0.0);
+  EXPECT_LE(res.p50_us, res.p95_us);
+  EXPECT_FALSE(res.window_throughput.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, AllProtocolsTest,
+                         ::testing::Values("2PC", "Leap", "Clay", "Star",
+                                           "Calvin", "Hermes", "Aria", "Lotus",
+                                           "Lion", "Lion(S)", "Lion(R)",
+                                           "Lion(SW)", "Lion(RW)", "Lion(RB)",
+                                           "Lion(B)"));
+
+class TpccProtocolsTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TpccProtocolsTest, CommitsTransactionsOnTpcc) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.protocol = GetParam();
+  cfg.workload = "tpcc";
+  cfg.tpcc.remote_ratio = 0.3;
+  ExperimentResult res = RunExperiment(cfg);
+  EXPECT_GT(res.committed, 50u) << cfg.protocol;
+}
+
+INSTANTIATE_TEST_SUITE_P(TpccProtocols, TpccProtocolsTest,
+                         ::testing::Values("2PC", "Lion", "Clay", "Calvin",
+                                           "Lion(B)"));
+
+TEST(HarnessTest, DynamicWorkloadsRun) {
+  for (const char* wl : {"ycsb-hotspot-interval", "ycsb-hotspot-position"}) {
+    ExperimentConfig cfg = BaseConfig();
+    cfg.protocol = "Lion";
+    cfg.workload = wl;
+    cfg.dynamic_period = 500 * kMillisecond;
+    ExperimentResult res = RunExperiment(cfg);
+    EXPECT_GT(res.committed, 100u) << wl;
+  }
+}
+
+TEST(HarnessTest, UnknownProtocolReturnsNull) {
+  ExperimentConfig cfg = BaseConfig();
+  Simulator sim;
+  Cluster cluster(&sim, cfg.cluster);
+  MetricsCollector metrics;
+  cfg.protocol = "NoSuchProtocol";
+  std::unique_ptr<PredictorInterface> pred;
+  EXPECT_EQ(MakeProtocol(cfg, &cluster, &metrics, &pred), nullptr);
+}
+
+TEST(HarnessTest, DeterministicGivenSeed) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.protocol = "2PC";
+  ExperimentResult a = RunExperiment(cfg);
+  ExperimentResult b = RunExperiment(cfg);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+}
+
+TEST(HarnessTest, SeedChangesRun) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.protocol = "2PC";
+  ExperimentResult a = RunExperiment(cfg);
+  cfg.seed = 999;
+  ExperimentResult b = RunExperiment(cfg);
+  EXPECT_NE(a.committed, b.committed);
+}
+
+// --- Comparative sanity: miniature versions of the paper's claims ---------------
+
+TEST(ComparativeTest, LionBeats2pcOnCrossPartitionWorkload) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.ycsb.cross_ratio = 1.0;
+  cfg.duration = 2 * kSecond;
+
+  cfg.protocol = "2PC";
+  double tput_2pc = RunExperiment(cfg).throughput;
+  cfg.protocol = "Lion(R)";
+  double tput_lion = RunExperiment(cfg).throughput;
+  EXPECT_GT(tput_lion, tput_2pc * 1.2);
+}
+
+TEST(ComparativeTest, LionConvertsMostTxnsToSingleNode) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.ycsb.cross_ratio = 1.0;
+  cfg.protocol = "Lion(R)";
+  cfg.duration = 2 * kSecond;
+  ExperimentResult res = RunExperiment(cfg);
+  EXPECT_GT(res.single_node + res.remastered, res.distributed);
+}
+
+TEST(ComparativeTest, CrossRatioHurts2pcMoreThanLion) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.duration = 1 * kSecond;
+
+  cfg.protocol = "2PC";
+  cfg.ycsb.cross_ratio = 0.0;
+  double tput_2pc_0 = RunExperiment(cfg).throughput;
+  cfg.ycsb.cross_ratio = 1.0;
+  double tput_2pc_100 = RunExperiment(cfg).throughput;
+
+  cfg.protocol = "Lion(R)";
+  cfg.ycsb.cross_ratio = 0.0;
+  double tput_lion_0 = RunExperiment(cfg).throughput;
+  cfg.ycsb.cross_ratio = 1.0;
+  double tput_lion_100 = RunExperiment(cfg).throughput;
+
+  double drop_2pc = tput_2pc_100 / tput_2pc_0;
+  double drop_lion = tput_lion_100 / tput_lion_0;
+  EXPECT_LT(drop_2pc, drop_lion);
+}
+
+TEST(ComparativeTest, NetworkBytesTrackedPerTxn) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.protocol = "2PC";
+  cfg.ycsb.cross_ratio = 1.0;
+  ExperimentResult res = RunExperiment(cfg);
+  EXPECT_GT(res.bytes_per_txn, 100.0);  // prepare/commit rounds cost bytes
+  cfg.ycsb.cross_ratio = 0.0;
+  ExperimentResult local = RunExperiment(cfg);
+  EXPECT_LT(local.bytes_per_txn, res.bytes_per_txn);
+}
+
+}  // namespace
+}  // namespace lion

@@ -1,0 +1,175 @@
+// Tests for the LSTM workload predictor: template identification, cosine
+// workload classification, wv trigger (Eq. 6), and graph augmentation.
+#include <gtest/gtest.h>
+
+#include "core/heat_graph.h"
+#include "core/predictor.h"
+
+namespace lion {
+namespace {
+
+PredictorConfig FastConfig() {
+  PredictorConfig cfg;
+  cfg.sample_interval = 10 * kMillisecond;
+  cfg.history_window = 8;
+  cfg.horizon = 2;
+  cfg.train_epochs = 30;
+  cfg.lstm.hidden = 8;
+  cfg.lstm.layers = 1;
+  return cfg;
+}
+
+TEST(PredictorTest, TemplateIdentificationByPartitionSet) {
+  LstmPredictor pred(FastConfig());
+  pred.OnTxn({1, 2}, 0);
+  pred.OnTxn({1, 2}, 0);
+  pred.OnTxn({3}, 0);
+  pred.OnTxn({2, 1}, 0);  // callers pass sorted sets; {1,2} matches
+  EXPECT_EQ(pred.num_templates(), 3u);
+}
+
+TEST(PredictorTest, IntervalsCloseWithTime) {
+  PredictorConfig cfg = FastConfig();
+  LstmPredictor pred(cfg);
+  pred.OnTxn({1, 2}, 0);
+  EXPECT_EQ(pred.intervals_closed(), 0u);
+  pred.OnTxn({1, 2}, 25 * kMillisecond);  // crosses two boundaries
+  EXPECT_EQ(pred.intervals_closed(), 2u);
+}
+
+TEST(PredictorTest, ArrivalRateSeriesCountsPerInterval) {
+  PredictorConfig cfg = FastConfig();
+  LstmPredictor pred(cfg);
+  for (int i = 0; i < 5; ++i) pred.OnTxn({1, 2}, 0);
+  pred.ForceCloseInterval(10 * kMillisecond);
+  for (int i = 0; i < 3; ++i) pred.OnTxn({1, 2}, 10 * kMillisecond);
+  pred.ForceCloseInterval(20 * kMillisecond);
+
+  HeatGraph g;
+  pred.AugmentGraph(&g, 20 * kMillisecond);  // triggers classification
+  ASSERT_EQ(pred.num_classes(), 1u);
+  const auto& series = pred.ClassSeries(0);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 5.0);
+  EXPECT_DOUBLE_EQ(series[1], 3.0);
+}
+
+TEST(PredictorTest, CosineMergesCoMovingTemplates) {
+  PredictorConfig cfg = FastConfig();
+  cfg.beta = 0.15;
+  LstmPredictor pred(cfg);
+  // Templates A={1,2} and B={3,4} rise together; C={5,6} moves oppositely.
+  SimTime t = 0;
+  for (int interval = 0; interval < 8; ++interval) {
+    int rising = interval + 1;
+    int falling = 8 - interval;
+    for (int i = 0; i < rising; ++i) pred.OnTxn({1, 2}, t);
+    for (int i = 0; i < rising; ++i) pred.OnTxn({3, 4}, t);
+    for (int i = 0; i < falling; ++i) pred.OnTxn({5, 6}, t);
+    t += cfg.sample_interval;
+  }
+  HeatGraph g;
+  pred.AugmentGraph(&g, t);
+  // A and B merge (cosine ~1); C stays separate.
+  EXPECT_EQ(pred.num_templates(), 3u);
+  EXPECT_EQ(pred.num_classes(), 2u);
+}
+
+TEST(PredictorTest, WorkloadVariationLowOnSteadyWorkload) {
+  PredictorConfig cfg = FastConfig();
+  LstmPredictor pred(cfg);
+  SimTime t = 0;
+  for (int interval = 0; interval < 16; ++interval) {
+    for (int i = 0; i < 10; ++i) pred.OnTxn({1, 2}, t);
+    t += cfg.sample_interval;
+  }
+  HeatGraph g;
+  pred.AugmentGraph(&g, t);  // trains the model on the flat series
+  double wv = pred.WorkloadVariation(t);
+  EXPECT_LT(wv, 0.35);  // flat series: forecast ~ current
+}
+
+TEST(PredictorTest, PeriodicBurstForecastInjectsPredictedEdges) {
+  // The Fig. 5 scenario: workload W2 (template {7,8}) bursts periodically.
+  // With history ending in the quiet phase right before a burst, the LSTM
+  // forecast at horizon h lands inside the burst -> rising class -> its
+  // templates are injected into the heat graph.
+  PredictorConfig cfg = FastConfig();
+  cfg.gamma = 0.05;
+  cfg.horizon = 2;
+  cfg.prediction_scale = 10.0;
+  cfg.train_epochs = 120;
+  cfg.lstm.hidden = 10;
+  cfg.history_window = 12;
+  LstmPredictor pred(cfg);
+  SimTime t = 0;
+  // Period-4 pattern: 1, 1, 9, 9 repeated; stop right before a burst.
+  auto rate_at = [](int interval) { return interval % 4 < 2 ? 1 : 9; };
+  for (int interval = 0; interval < 26; ++interval) {  // ends after "1, 1"
+    for (int i = 0; i < rate_at(interval); ++i) pred.OnTxn({7, 8}, t);
+    t += cfg.sample_interval;
+  }
+  HeatGraph g;
+  pred.AugmentGraph(&g, t);
+  EXPECT_EQ(pred.num_classes(), 1u);
+  EXPECT_GT(pred.pre_replications_triggered(), 0u);
+  // Predicted co-access of {7,8} entered the graph (Fig. 5c).
+  EXPECT_GT(g.EdgeWeight(7, 8), 0.0);
+}
+
+TEST(PredictorTest, WpZeroDisablesPrediction) {
+  PredictorConfig cfg = FastConfig();
+  cfg.wp = 0.0;
+  LstmPredictor pred(cfg);
+  SimTime t = 0;
+  for (int interval = 0; interval < 10; ++interval) {
+    for (int i = 0; i < 5 * (interval + 1); ++i) pred.OnTxn({1, 2}, t);
+    t += cfg.sample_interval;
+  }
+  HeatGraph g;
+  pred.AugmentGraph(&g, t);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 2), 0.0);
+  EXPECT_EQ(pred.pre_replications_triggered(), 0u);
+}
+
+TEST(PredictorTest, SingletonTemplatesAddNoEdges) {
+  PredictorConfig cfg = FastConfig();
+  cfg.gamma = 0.0;  // always trigger
+  LstmPredictor pred(cfg);
+  SimTime t = 0;
+  for (int interval = 0; interval < 10; ++interval) {
+    for (int i = 0; i < 3 * (interval + 1); ++i) pred.OnTxn({4}, t);
+    t += cfg.sample_interval;
+  }
+  HeatGraph g;
+  pred.AugmentGraph(&g, t);
+  EXPECT_EQ(g.num_edges(), 0u);  // single-partition template: nothing to add
+}
+
+TEST(PredictorTest, TemplateCapIsRespected) {
+  PredictorConfig cfg = FastConfig();
+  cfg.max_templates = 4;
+  LstmPredictor pred(cfg);
+  for (PartitionId p = 0; p < 20; ++p) pred.OnTxn({p, p + 100}, 0);
+  EXPECT_EQ(pred.num_templates(), 4u);
+}
+
+TEST(PredictorTest, DeterministicAcrossRuns) {
+  auto run = []() {
+    PredictorConfig cfg = FastConfig();
+    cfg.gamma = 0.0;
+    LstmPredictor pred(cfg, 99);
+    SimTime t = 0;
+    for (int interval = 0; interval < 12; ++interval) {
+      for (int i = 0; i <= interval; ++i) pred.OnTxn({1, 2}, t);
+      t += cfg.sample_interval;
+    }
+    HeatGraph g;
+    pred.AugmentGraph(&g, t);
+    return g.EdgeWeight(1, 2);
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace lion

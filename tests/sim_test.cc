@@ -1,0 +1,207 @@
+// Unit tests for the DES core: Simulator, Network, WorkerPool.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/worker_pool.h"
+
+namespace lion {
+namespace {
+
+// --- Simulator ----------------------------------------------------------------
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&]() { order.push_back(3); });
+  sim.Schedule(10, [&]() { order.push_back(1); });
+  sim.Schedule(20, [&]() { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, TiesRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sim.Schedule(100, [&, i]() { order.push_back(i); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int ran = 0;
+  sim.Schedule(10, [&]() { ran++; });
+  sim.Schedule(20, [&]() { ran++; });
+  sim.Schedule(30, [&]() { ran++; });
+  sim.RunUntil(20);
+  EXPECT_EQ(ran, 2);           // events at t=10 and t=20 inclusive
+  EXPECT_EQ(sim.Now(), 20);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.Now(), 500);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  SimTime inner_time = -1;
+  sim.Schedule(10, [&]() {
+    sim.Schedule(15, [&]() { inner_time = sim.Now(); });
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(inner_time, 25);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.Schedule(10, [&]() {
+    sim.Schedule(-5, [&]() { EXPECT_EQ(sim.Now(), 10); });
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.processed_events(), 2u);
+}
+
+TEST(SimulatorTest, ProcessedEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 100; ++i) sim.Schedule(i, []() {});
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.processed_events(), 100u);
+}
+
+// --- Network ----------------------------------------------------------------
+
+TEST(NetworkTest, RemoteDelayIncludesLatencyAndBandwidth) {
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.one_way_latency = 25 * kMicrosecond;
+  cfg.bandwidth_bytes_per_sec = 1e6;  // 1 MB/s: 1000 bytes = 1 ms
+  Network net(&sim, cfg);
+  SimTime delivered = -1;
+  net.Send(0, 1, 1000, [&]() { delivered = sim.Now(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(delivered, 25 * kMicrosecond + 1 * kMillisecond);
+}
+
+TEST(NetworkTest, LoopbackIsCheapAndUncounted) {
+  Simulator sim;
+  NetworkConfig cfg;
+  Network net(&sim, cfg);
+  SimTime delivered = -1;
+  net.Send(2, 2, 1 << 20, [&]() { delivered = sim.Now(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(delivered, cfg.local_latency);
+  EXPECT_EQ(net.total_bytes(), 0u);
+  EXPECT_EQ(net.total_messages(), 0u);
+}
+
+TEST(NetworkTest, CountsBytesAndMessages) {
+  Simulator sim;
+  Network net(&sim, NetworkConfig{});
+  net.Send(0, 1, 100, []() {});
+  net.Send(1, 0, 200, []() {});
+  sim.RunUntilIdle();
+  EXPECT_EQ(net.total_bytes(), 300u);
+  EXPECT_EQ(net.total_messages(), 2u);
+}
+
+TEST(NetworkTest, WindowBytesAccumulatePerWindow) {
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.stats_window = 1 * kMillisecond;
+  Network net(&sim, cfg);
+  net.Send(0, 1, 100, []() {});
+  sim.Schedule(5 * kMillisecond, [&]() { net.Send(0, 1, 700, []() {}); });
+  sim.RunUntilIdle();
+  const auto& w = net.window_bytes();
+  ASSERT_GE(w.size(), 6u);
+  EXPECT_EQ(w[0], 100u);
+  EXPECT_EQ(w[5], 700u);
+}
+
+// --- WorkerPool ----------------------------------------------------------------
+
+TEST(WorkerPoolTest, SingleWorkerSerializesTasks) {
+  Simulator sim;
+  WorkerPool pool(&sim, 1);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit(TaskPriority::kNew, 100, [&]() { completions.push_back(sim.Now()); });
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(completions, (std::vector<SimTime>{100, 200, 300}));
+}
+
+TEST(WorkerPoolTest, ParallelWorkersOverlap) {
+  Simulator sim;
+  WorkerPool pool(&sim, 4);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) pool.Submit(TaskPriority::kNew, 100, [&]() { done++; });
+  sim.RunUntilIdle();
+  EXPECT_EQ(done, 4);
+  EXPECT_EQ(sim.Now(), 100);  // all four ran concurrently
+}
+
+TEST(WorkerPoolTest, PriorityOrdering) {
+  Simulator sim;
+  WorkerPool pool(&sim, 1);
+  std::vector<char> order;
+  // Occupy the worker, then queue one of each class (reverse priority).
+  pool.Submit(TaskPriority::kNew, 50, [&]() { order.push_back('x'); });
+  pool.Submit(TaskPriority::kNew, 10, [&]() { order.push_back('n'); });
+  pool.Submit(TaskPriority::kResume, 10, [&]() { order.push_back('r'); });
+  pool.Submit(TaskPriority::kService, 10, [&]() { order.push_back('s'); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<char>{'x', 's', 'r', 'n'}));
+}
+
+TEST(WorkerPoolTest, BusyTimeAccumulates) {
+  Simulator sim;
+  WorkerPool pool(&sim, 2);
+  pool.Submit(TaskPriority::kNew, 100, []() {});
+  pool.Submit(TaskPriority::kNew, 250, []() {});
+  sim.RunUntilIdle();
+  EXPECT_EQ(pool.busy_time(), 350);
+  EXPECT_EQ(pool.completed_tasks(), 2u);
+}
+
+TEST(WorkerPoolTest, LoadReflectsQueue) {
+  Simulator sim;
+  WorkerPool pool(&sim, 1);
+  pool.Submit(TaskPriority::kNew, 100, []() {});
+  pool.Submit(TaskPriority::kNew, 100, []() {});
+  pool.Submit(TaskPriority::kNew, 100, []() {});
+  EXPECT_DOUBLE_EQ(pool.Load(), 3.0);  // 1 busy + 2 queued
+  EXPECT_EQ(pool.queued_tasks(), 2u);
+  sim.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(pool.Load(), 0.0);
+}
+
+TEST(WorkerPoolTest, ZeroDurationTaskCompletes) {
+  Simulator sim;
+  WorkerPool pool(&sim, 1);
+  bool ran = false;
+  pool.Submit(TaskPriority::kNew, 0, [&]() { ran = true; });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(ran);
+}
+
+TEST(WorkerPoolTest, TaskChainingFromCallback) {
+  Simulator sim;
+  WorkerPool pool(&sim, 1);
+  SimTime second_done = -1;
+  pool.Submit(TaskPriority::kNew, 10, [&]() {
+    pool.Submit(TaskPriority::kResume, 20, [&]() { second_done = sim.Now(); });
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(second_done, 30);
+}
+
+}  // namespace
+}  // namespace lion

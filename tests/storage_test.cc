@@ -1,0 +1,92 @@
+// Unit tests for PartitionStore: reads, versions, locks, blocking.
+#include <gtest/gtest.h>
+
+#include "storage/partition_store.h"
+
+namespace lion {
+namespace {
+
+TEST(PartitionStoreTest, BulkLoadInitializesRecords) {
+  PartitionStore store(3, 100, 1000);
+  EXPECT_EQ(store.id(), 3);
+  EXPECT_EQ(store.record_count(), 100u);
+  EXPECT_EQ(store.SizeBytes(), 100u * 1000u);
+  Value v = 0;
+  Version ver = 0;
+  ASSERT_TRUE(store.Read(42, &v, &ver).ok());
+  EXPECT_EQ(v, 42u);
+  EXPECT_EQ(ver, 1u);
+}
+
+TEST(PartitionStoreTest, ReadMissingKeyIsNotFound) {
+  PartitionStore store(0, 10, 100);
+  Value v;
+  Version ver;
+  EXPECT_TRUE(store.Read(999, &v, &ver).IsNotFound());
+  EXPECT_FALSE(store.Contains(999));
+}
+
+TEST(PartitionStoreTest, ApplyBumpsVersion) {
+  PartitionStore store(0, 10, 100);
+  store.Apply(5, 777);
+  Value v;
+  Version ver;
+  ASSERT_TRUE(store.Read(5, &v, &ver).ok());
+  EXPECT_EQ(v, 777u);
+  EXPECT_EQ(ver, 2u);
+  store.Apply(5, 888);
+  EXPECT_EQ(store.VersionOf(5), 3u);
+}
+
+TEST(PartitionStoreTest, VersionOfMissingIsZero) {
+  PartitionStore store(0, 10, 100);
+  EXPECT_EQ(store.VersionOf(12345), 0u);
+}
+
+TEST(PartitionStoreTest, LockIsExclusive) {
+  PartitionStore store(0, 10, 100);
+  EXPECT_TRUE(store.TryLock(1, 100));
+  EXPECT_FALSE(store.TryLock(1, 200));
+  EXPECT_TRUE(store.IsLockedByOther(1, 200));
+  EXPECT_FALSE(store.IsLockedByOther(1, 100));
+}
+
+TEST(PartitionStoreTest, LockIsReentrant) {
+  PartitionStore store(0, 10, 100);
+  EXPECT_TRUE(store.TryLock(1, 100));
+  EXPECT_TRUE(store.TryLock(1, 100));
+}
+
+TEST(PartitionStoreTest, UnlockOnlyByHolder) {
+  PartitionStore store(0, 10, 100);
+  ASSERT_TRUE(store.TryLock(1, 100));
+  store.Unlock(1, 200);  // not the holder: no effect
+  EXPECT_FALSE(store.TryLock(1, 300));
+  store.Unlock(1, 100);
+  EXPECT_TRUE(store.TryLock(1, 300));
+}
+
+TEST(PartitionStoreTest, UnlockedKeyIsFree) {
+  PartitionStore store(0, 10, 100);
+  EXPECT_FALSE(store.IsLockedByOther(2, 55));
+}
+
+TEST(PartitionStoreTest, InsertCreatesRecord) {
+  PartitionStore store(0, 10, 100);
+  store.Insert(500, 123);
+  EXPECT_TRUE(store.Contains(500));
+  EXPECT_EQ(store.VersionOf(500), 1u);
+  EXPECT_EQ(store.record_count(), 11u);
+}
+
+TEST(PartitionStoreTest, WriteBlockFlag) {
+  PartitionStore store(0, 10, 100);
+  EXPECT_FALSE(store.write_blocked());
+  store.set_write_blocked(true);
+  EXPECT_TRUE(store.write_blocked());
+  store.set_write_blocked(false);
+  EXPECT_FALSE(store.write_blocked());
+}
+
+}  // namespace
+}  // namespace lion

@@ -1,0 +1,354 @@
+// Tests for the workload generators: YCSB distribution properties, TPC-C
+// structure, and the dynamic hotspot scenarios.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "replication/cluster.h"
+#include "workload/dynamic.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace lion {
+namespace {
+
+ClusterConfig Cfg() {
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.partitions_per_node = 3;
+  cfg.records_per_partition = 1000;
+  return cfg;
+}
+
+// --- YCSB -----------------------------------------------------------------------
+
+TEST(YcsbTest, OpsCountAndKeyRange) {
+  YcsbConfig y;
+  y.ops_per_txn = 10;
+  YcsbWorkload w(Cfg(), y);
+  Rng rng(1);
+  auto txn = w.Next(1, 0, &rng);
+  EXPECT_EQ(txn->ops().size(), 10u);
+  for (const auto& op : txn->ops()) {
+    EXPECT_LT(op.key, 1000u);
+    EXPECT_GE(op.partition, 0);
+    EXPECT_LT(op.partition, 12);
+  }
+}
+
+TEST(YcsbTest, ZeroCrossRatioIsSinglePartition) {
+  YcsbConfig y;
+  y.cross_ratio = 0.0;
+  YcsbWorkload w(Cfg(), y);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    auto txn = w.Next(i, 0, &rng);
+    EXPECT_EQ(txn->Partitions().size(), 1u);
+  }
+}
+
+TEST(YcsbTest, FullCrossRatioIsTwoPartitionsOnTwoNodes) {
+  YcsbConfig y;
+  y.cross_ratio = 1.0;
+  YcsbWorkload w(Cfg(), y);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    auto txn = w.Next(i, 0, &rng);
+    auto parts = txn->Partitions();
+    ASSERT_EQ(parts.size(), 2u);
+    // The pair spans two (initial-placement) nodes.
+    EXPECT_NE(parts[0] % 4, parts[1] % 4);
+  }
+}
+
+TEST(YcsbTest, PairedPatternIsStable) {
+  YcsbConfig y;
+  y.cross_ratio = 1.0;
+  y.cross_pattern = CrossPattern::kPaired;
+  YcsbWorkload w(Cfg(), y);
+  Rng rng(4);
+  // Each partition always co-accesses the same partner.
+  std::set<std::pair<PartitionId, PartitionId>> pairs;
+  for (int i = 0; i < 500; ++i) {
+    auto parts = w.Next(i, 0, &rng)->Partitions();
+    pairs.insert({parts[0], parts[1]});
+  }
+  // Disjoint pairing: at most total_partitions/2 distinct pairs.
+  EXPECT_LE(pairs.size(), 6u);
+}
+
+TEST(YcsbTest, SkewConcentratesOnHotNode) {
+  YcsbConfig y;
+  y.skew_factor = 0.8;
+  y.hot_node = 1;
+  YcsbWorkload w(Cfg(), y);
+  Rng rng(5);
+  int hot = 0;
+  const int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    auto parts = w.Next(i, 0, &rng)->Partitions();
+    if (parts[0] % 4 == 1) hot++;
+  }
+  // 80% hot + ~5% of the uniform remainder.
+  EXPECT_GT(hot, kTrials * 7 / 10);
+}
+
+TEST(YcsbTest, PartitionOffsetRotatesSpace) {
+  YcsbConfig base;
+  base.cross_ratio = 0.0;
+  YcsbConfig shifted = base;
+  shifted.partition_offset = 6;
+  YcsbWorkload w0(Cfg(), base), w1(Cfg(), shifted);
+  Rng r0(7), r1(7);  // same seed: same home pre-offset
+  for (int i = 0; i < 100; ++i) {
+    auto p0 = w0.Next(i, 0, &r0)->Partitions()[0];
+    auto p1 = w1.Next(i, 0, &r1)->Partitions()[0];
+    EXPECT_EQ((p0 + 6) % 12, p1);
+  }
+}
+
+TEST(YcsbTest, WriteRatioRespected) {
+  YcsbConfig y;
+  y.write_ratio = 0.3;
+  y.ops_per_txn = 10;
+  YcsbWorkload w(Cfg(), y);
+  Rng rng(8);
+  int writes = 0, total = 0;
+  for (int i = 0; i < 500; ++i) {
+    auto txn = w.Next(i, 0, &rng);
+    for (const auto& op : txn->ops()) {
+      total++;
+      if (op.type == OpType::kWrite) writes++;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / total, 0.3, 0.04);
+}
+
+TEST(YcsbTest, NoDuplicateKeysWithinPartition) {
+  YcsbConfig y;
+  y.ops_per_txn = 8;
+  y.zipf_theta = 0.99;  // heavy collisions without dedup
+  YcsbWorkload w(Cfg(), y);
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    auto txn = w.Next(i, 0, &rng);
+    std::set<std::pair<PartitionId, Key>> seen;
+    for (const auto& op : txn->ops()) {
+      EXPECT_TRUE(seen.insert({op.partition, op.key}).second);
+    }
+  }
+}
+
+// --- TPC-C ----------------------------------------------------------------------
+
+TEST(TpccTest, LoadPopulatesRelations) {
+  Simulator sim;
+  ClusterConfig ccfg = Cfg();
+  Cluster cluster(&sim, ccfg);
+  TpccConfig t;
+  TpccWorkload w(ccfg, t);
+  w.Load(&cluster);
+  PartitionStore* store = cluster.store(0);
+  EXPECT_TRUE(store->Contains(TpccWorkload::MakeKey(TpccWorkload::kWarehouse, 0)));
+  EXPECT_TRUE(store->Contains(TpccWorkload::MakeKey(TpccWorkload::kDistrict, 9)));
+  EXPECT_TRUE(store->Contains(TpccWorkload::MakeKey(TpccWorkload::kCustomer, 0)));
+  EXPECT_TRUE(store->Contains(TpccWorkload::MakeKey(TpccWorkload::kItem, 999)));
+  EXPECT_TRUE(store->Contains(TpccWorkload::MakeKey(TpccWorkload::kStock, 500)));
+}
+
+TEST(TpccTest, NewOrderStructure) {
+  TpccConfig t;
+  t.remote_ratio = 0.0;
+  TpccWorkload w(Cfg(), t);
+  Rng rng(1);
+  auto txn = w.Next(1, 0, &rng);
+  // Home-only NewOrder touches exactly one warehouse partition.
+  EXPECT_EQ(txn->Partitions().size(), 1u);
+  // 5 fixed ops + 3 per line, lines in [5, 15].
+  size_t n = txn->ops().size();
+  EXPECT_GE(n, 5u + 3u * 5u);
+  EXPECT_LE(n, 5u + 3u * 15u);
+  // District next_o_id is written (the contention point).
+  bool district_write = false;
+  for (const auto& op : txn->ops()) {
+    if (op.key == TpccWorkload::MakeKey(TpccWorkload::kDistrict, op.key & 0xF) &&
+        op.type == OpType::kWrite) {
+      district_write = true;
+    }
+  }
+  // Weaker check: some write targets the district table.
+  for (const auto& op : txn->ops()) {
+    if ((op.key >> 40) == TpccWorkload::kDistrict && op.type == OpType::kWrite)
+      district_write = true;
+  }
+  EXPECT_TRUE(district_write);
+  EXPECT_GT(txn->extra_compute(), 0);
+}
+
+TEST(TpccTest, RemoteRatioCreatesCrossWarehouseTxns) {
+  TpccConfig t;
+  t.remote_ratio = 1.0;
+  TpccWorkload w(Cfg(), t);
+  Rng rng(2);
+  int cross = 0;
+  for (int i = 0; i < 300; ++i) {
+    auto txn = w.Next(i, 0, &rng);
+    if (txn->Partitions().size() > 1) cross++;
+  }
+  EXPECT_GT(cross, 290);
+}
+
+TEST(TpccTest, PaymentMix) {
+  TpccConfig t;
+  t.payment_ratio = 1.0;
+  t.remote_payment_ratio = 0.0;
+  TpccWorkload w(Cfg(), t);
+  Rng rng(3);
+  auto txn = w.Next(1, 0, &rng);
+  EXPECT_EQ(txn->ops().size(), 4u);  // W, D, C, H
+  EXPECT_EQ(txn->Partitions().size(), 1u);
+  int writes = 0;
+  for (const auto& op : txn->ops())
+    if (op.type == OpType::kWrite) writes++;
+  EXPECT_EQ(writes, 4);
+}
+
+TEST(TpccTest, SkewTargetsHotNodeWarehouses) {
+  TpccConfig t;
+  t.skew_factor = 1.0;
+  t.hot_node = 2;
+  t.remote_ratio = 0.0;
+  TpccWorkload w(Cfg(), t);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    auto parts = w.Next(i, 0, &rng)->Partitions();
+    EXPECT_EQ(parts[0] % 4, 2);
+  }
+}
+
+TEST(TpccTest, FullMixGeneratesAllTypes) {
+  TpccConfig t;
+  t.payment_ratio = 0.43;
+  t.delivery_ratio = 0.04;
+  t.order_status_ratio = 0.04;
+  t.stock_level_ratio = 0.04;
+  TpccWorkload w(Cfg(), t);
+  Rng rng(11);
+  int read_only = 0, writers = 0;
+  for (int i = 0; i < 500; ++i) {
+    auto txn = w.Next(i, 0, &rng);
+    bool has_write = false;
+    for (const auto& op : txn->ops())
+      if (op.type == OpType::kWrite) has_write = true;
+    (has_write ? writers : read_only)++;
+  }
+  // OrderStatus + StockLevel are read-only (~8% of the mix).
+  EXPECT_GT(read_only, 10);
+  EXPECT_GT(writers, 400);
+}
+
+TEST(TpccTest, DeliveryCoversAllDistricts) {
+  TpccConfig t;
+  t.delivery_ratio = 1.0;
+  t.payment_ratio = 0.0;
+  TpccWorkload w(Cfg(), t);
+  Rng rng(12);
+  auto txn = w.Next(1, 0, &rng);
+  // One warehouse, 10 districts x 3 ops each.
+  EXPECT_EQ(txn->Partitions().size(), 1u);
+  EXPECT_EQ(txn->ops().size(), 30u);
+  int customer_writes = 0;
+  for (const auto& op : txn->ops()) {
+    if ((op.key >> 40) == TpccWorkload::kCustomer &&
+        op.type == OpType::kWrite) {
+      customer_writes++;
+    }
+  }
+  EXPECT_EQ(customer_writes, 10);
+}
+
+TEST(TpccTest, StockLevelIsReadOnly) {
+  TpccConfig t;
+  t.stock_level_ratio = 1.0;
+  TpccWorkload w(Cfg(), t);
+  Rng rng(13);
+  auto txn = w.Next(1, 0, &rng);
+  for (const auto& op : txn->ops()) EXPECT_EQ(op.type, OpType::kRead);
+  // District read + 12 distinct stock reads.
+  EXPECT_EQ(txn->ops().size(), 13u);
+  EXPECT_EQ(txn->Partitions().size(), 1u);
+}
+
+TEST(TpccTest, OrderStatusIsReadOnly) {
+  TpccConfig t;
+  t.order_status_ratio = 1.0;
+  TpccWorkload w(Cfg(), t);
+  Rng rng(14);
+  auto txn = w.Next(1, 0, &rng);
+  for (const auto& op : txn->ops()) EXPECT_EQ(op.type, OpType::kRead);
+  EXPECT_EQ(txn->ops().size(), 7u);  // customer + order + 5 lines
+}
+
+TEST(TpccTest, NewOrderInsertsAreMarked) {
+  TpccConfig t;
+  t.remote_ratio = 0.0;
+  TpccWorkload w(Cfg(), t);
+  Rng rng(15);
+  auto txn = w.Next(1, 0, &rng);
+  for (const auto& op : txn->ops()) {
+    uint64_t table = op.key >> 40;
+    bool should_insert = table == TpccWorkload::kOrder ||
+                         table == TpccWorkload::kNewOrder ||
+                         table == TpccWorkload::kOrderLine;
+    EXPECT_EQ(op.is_insert, should_insert) << "table " << table;
+  }
+}
+
+// --- Dynamic --------------------------------------------------------------------
+
+TEST(DynamicTest, PhaseSelectionByTime) {
+  ClusterConfig ccfg = Cfg();
+  auto phases = DynamicYcsbWorkload::HotspotPosition(ccfg, 1 * kSecond);
+  DynamicYcsbWorkload w(ccfg, phases);
+  EXPECT_EQ(w.num_phases(), 4u);
+  EXPECT_EQ(w.PhaseAt(0), 0u);
+  EXPECT_EQ(w.PhaseAt(1500 * kMillisecond), 1u);
+  EXPECT_EQ(w.PhaseAt(2500 * kMillisecond), 2u);
+  EXPECT_EQ(w.PhaseAt(3500 * kMillisecond), 3u);
+  // Cycles back around.
+  EXPECT_EQ(w.PhaseAt(4500 * kMillisecond), 0u);
+}
+
+TEST(DynamicTest, HotspotIntervalShiftsOffsets) {
+  ClusterConfig ccfg = Cfg();
+  auto phases = DynamicYcsbWorkload::HotspotInterval(ccfg, 1 * kSecond);
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0].ycsb.partition_offset, 0);
+  EXPECT_EQ(phases[1].ycsb.partition_offset, 4);
+  EXPECT_EQ(phases[2].ycsb.partition_offset, 8);
+  for (const auto& p : phases) EXPECT_DOUBLE_EQ(p.ycsb.cross_ratio, 1.0);
+}
+
+TEST(DynamicTest, PositionScenarioMatchesPaperPhases) {
+  ClusterConfig ccfg = Cfg();
+  auto phases = DynamicYcsbWorkload::HotspotPosition(ccfg, 1 * kSecond);
+  ASSERT_EQ(phases.size(), 4u);
+  EXPECT_DOUBLE_EQ(phases[0].ycsb.skew_factor, 0.0);   // A uniform
+  EXPECT_DOUBLE_EQ(phases[0].ycsb.cross_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(phases[1].ycsb.skew_factor, 0.8);   // B skew 50%
+  EXPECT_DOUBLE_EQ(phases[2].ycsb.cross_ratio, 1.0);   // C skew 100%
+  EXPECT_NE(phases[3].ycsb.partition_offset, 0);       // D shifted
+}
+
+TEST(DynamicTest, GeneratesFromActivePhase) {
+  ClusterConfig ccfg = Cfg();
+  auto phases = DynamicYcsbWorkload::HotspotPosition(ccfg, 1 * kSecond);
+  DynamicYcsbWorkload w(ccfg, phases);
+  Rng rng(5);
+  // Phase C (skew 100% cross): transactions have 2 partitions.
+  auto txn = w.Next(1, 2500 * kMillisecond, &rng);
+  EXPECT_EQ(txn->Partitions().size(), 2u);
+}
+
+}  // namespace
+}  // namespace lion
