@@ -51,12 +51,18 @@ inline ExperimentConfig EvalConfig(const std::string& protocol, int nodes = 4) {
   return cfg;
 }
 
-/// Runs the experiment and exports the headline counters.
+/// Runs the experiment through the builder and exports the headline
+/// counters. Configuration problems (unknown protocol name etc.) surface as
+/// a skipped benchmark, not a crash.
 inline ExperimentResult RunAndReport(const ExperimentConfig& cfg,
                                      ::benchmark::State& state) {
   ExperimentResult res;
   for (auto _ : state) {
-    res = RunExperiment(cfg);
+    Status status = ExperimentBuilder(cfg).Run(&res);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return res;
+    }
   }
   state.counters["ktxn_s"] = res.throughput / 1000.0;
   state.counters["p50_us"] = res.p50_us;

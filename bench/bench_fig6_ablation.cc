@@ -34,7 +34,7 @@ void Fig6(::benchmark::State& state) {
   cfg.cluster.remaster_base_delay = 500 * kMicrosecond;
   // Batch variants need a client window above the worker-capacity ceiling
   // (4000 outstanding x 10 ms epochs caps visible throughput at 400k/s).
-  if (IsBatchProtocol(kVariants[state.range(0)].factory)) {
+  if (ProtocolRegistry::Global().IsBatch(kVariants[state.range(0)].factory)) {
     cfg.concurrency = 16000;
   }
   bench::RunAndReport(cfg, state);

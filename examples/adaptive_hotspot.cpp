@@ -2,6 +2,7 @@
 // simulated seconds. Compares 2PC (static) against Lion (adaptive replica
 // provision) and prints throughput over time so the adaptation is visible.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "harness/experiment.h"
@@ -11,16 +12,22 @@ using namespace lion;
 namespace {
 
 ExperimentResult Run(const std::string& protocol) {
-  ExperimentConfig cfg;
-  cfg.protocol = protocol;
-  cfg.workload = "ycsb-hotspot-interval";
-  cfg.dynamic_period = 2 * kSecond;
-  cfg.cluster.num_nodes = 4;
-  cfg.warmup = 0;
-  cfg.duration = 12 * kSecond;  // two full cycles of three phases
-  cfg.lion.planner.interval = 250 * kMillisecond;
-  cfg.predictor.train_epochs = 8;
-  return RunExperiment(cfg);
+  ExperimentBuilder builder;
+  builder.Protocol(protocol)
+      .Workload("ycsb-hotspot-interval")
+      .DynamicPeriod(2 * kSecond)
+      .Warmup(0)
+      .Duration(12 * kSecond);  // two full cycles of three phases
+  builder.config().cluster.num_nodes = 4;
+  builder.config().lion.planner.interval = 250 * kMillisecond;
+  builder.config().predictor.train_epochs = 8;
+  ExperimentResult res;
+  Status status = builder.Run(&res);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  return res;
 }
 
 void PrintSeries(const char* name, const ExperimentResult& res) {

@@ -1,11 +1,13 @@
 // Command-line experiment runner: compose any protocol x workload x cluster
-// configuration without writing code.
+// configuration without writing code. Protocols and workloads are
+// enumerated live from the registries, so anything linked in is runnable.
 //
 // Usage examples:
 //   lion_bench_cli --protocol=Lion --workload=ycsb --cross=0.8 --skew=0.8
 //   lion_bench_cli --protocol=Calvin --workload=tpcc --nodes=8 --duration=5
 //   lion_bench_cli --protocol=Lion --workload=ycsb-hotspot-position --series
 //   lion_bench_cli --list
+//   lion_bench_cli --json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,18 +19,24 @@ using namespace lion;
 
 namespace {
 
-const char* kProtocols[] = {"2PC",      "Leap",    "Clay",     "Star",
-                            "Calvin",   "Hermes",  "Aria",     "Lotus",
-                            "Lion",     "Lion(S)", "Lion(R)",  "Lion(SW)",
-                            "Lion(RW)", "Lion(RB)", "Lion(B)"};
-const char* kWorkloads[] = {"ycsb", "tpcc", "ycsb-hotspot-interval",
-                            "ycsb-hotspot-position"};
-
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
   std::string prefix = std::string("--") + name + "=";
   if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
   *out = arg + prefix.size();
   return true;
+}
+
+void PrintRegistries() {
+  std::printf("protocols:");
+  for (const std::string& p : ProtocolRegistry::Global().Names()) {
+    std::printf(" %s%s", p.c_str(),
+                ProtocolRegistry::Global().IsBatch(p) ? "*" : "");
+  }
+  std::printf("   (* = batch execution)\nworkloads:");
+  for (const std::string& w : WorkloadRegistry::Global().Names()) {
+    std::printf(" %s", w.c_str());
+  }
+  std::printf("\n");
 }
 
 void PrintUsage() {
@@ -44,7 +52,8 @@ void PrintUsage() {
       "  --remaster-us=N    remastering delay (default 3000)\n"
       "  --seed=N           RNG seed (default 1)\n"
       "  --series           also print the throughput time series\n"
-      "  --list             list protocols and workloads\n");
+      "  --json             emit the full result as one JSON object\n"
+      "  --list             list registered protocols and workloads\n");
 }
 
 }  // namespace
@@ -57,18 +66,17 @@ int main(int argc, char** argv) {
   cfg.duration = 2 * kSecond;
   cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
   bool series = false;
+  bool json = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string v;
     if (std::strcmp(argv[i], "--list") == 0) {
-      std::printf("protocols:");
-      for (const char* p : kProtocols) std::printf(" %s", p);
-      std::printf("\nworkloads:");
-      for (const char* w : kWorkloads) std::printf(" %s", w);
-      std::printf("\n");
+      PrintRegistries();
       return 0;
     } else if (std::strcmp(argv[i], "--series") == 0) {
       series = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       PrintUsage();
       return 0;
@@ -101,12 +109,23 @@ int main(int argc, char** argv) {
 
   if (cfg.workload == "tpcc") cfg.cluster.partitions_per_node = 4;
 
-  ExperimentResult res = RunExperiment(cfg);
+  ExperimentResult res;
+  Status status = ExperimentBuilder(cfg).Run(&res);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    PrintRegistries();
+    return 1;
+  }
   if (res.committed == 0) {
     std::fprintf(stderr,
-                 "no transactions committed — check --protocol/--workload "
-                 "(use --list)\n");
+                 "no transactions committed — run too short for this "
+                 "protocol/workload (try a longer --duration)\n");
     return 1;
+  }
+
+  if (json) {
+    std::printf("%s\n", res.ToJson().c_str());
+    return 0;
   }
 
   std::printf("protocol   : %s\n", cfg.protocol.c_str());

@@ -2,6 +2,7 @@
 // and print what happened. Demonstrates the core public API directly
 // (Simulator, Cluster, LionProtocol, drivers and metrics).
 #include <cstdio>
+#include <memory>
 
 #include "core/lion_protocol.h"
 #include "core/predictor.h"
@@ -29,11 +30,11 @@ int main() {
   MetricsCollector metrics;
 
   // 2. Lion with its planner (replica rearrangement) and LSTM predictor.
+  //    The protocol owns the predictor for its whole lifetime.
   LionOptions options;
   options.planner.interval = 250 * kMillisecond;
-  PredictorConfig predictor_cfg;
-  LstmPredictor predictor(predictor_cfg);
-  LionProtocol lion(&cluster, &metrics, options, &predictor);
+  LionProtocol lion(&cluster, &metrics, options,
+                    std::make_unique<LstmPredictor>(PredictorConfig{}));
 
   // 3. A skewed YCSB workload where half the transactions span two nodes.
   YcsbConfig workload_cfg;
@@ -48,6 +49,7 @@ int main() {
   driver.Start();
   sim.RunUntil(3 * kSecond);
   driver.Stop();
+  lion.Stop();
 
   // 5. Report.
   std::printf("Lion quickstart (3 simulated seconds)\n");

@@ -13,19 +13,26 @@ int main() {
               "p95(us)", "distributed");
 
   for (const char* protocol : {"2PC", "Clay", "Lion", "Lion(B)"}) {
-    ExperimentConfig cfg;
-    cfg.protocol = protocol;
-    cfg.workload = "tpcc";
-    cfg.cluster.num_nodes = 4;
-    cfg.cluster.partitions_per_node = 4;  // 4 warehouses per node (scaled)
-    cfg.tpcc.remote_ratio = 0.3;
-    cfg.tpcc.payment_ratio = 0.1;
-    cfg.warmup = 1 * kSecond;
-    cfg.duration = 2 * kSecond;
+    ExperimentBuilder builder;
+    builder.Protocol(protocol)
+        .Workload("tpcc")
+        .Warmup(1 * kSecond)
+        .Duration(2 * kSecond);
+    builder.config().cluster.num_nodes = 4;
+    builder.config().cluster.partitions_per_node = 4;  // 4 warehouses/node
+    builder.config().tpcc.remote_ratio = 0.3;
+    builder.config().tpcc.payment_ratio = 0.1;
     // NewOrder txns are ~10x heavier than YCSB's: size the batch window so
     // one epoch's batch fits the cluster's worker capacity.
-    if (IsBatchProtocol(protocol)) cfg.concurrency = 600;
-    ExperimentResult res = RunExperiment(cfg);
+    if (ProtocolRegistry::Global().IsBatch(protocol)) {
+      builder.Concurrency(600);
+    }
+    ExperimentResult res;
+    Status status = builder.Run(&res);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
     double dist_pct = res.committed > 0
                           ? 100.0 * res.distributed / res.committed
                           : 0.0;

@@ -1,0 +1,67 @@
+// Move-only type-erased callable, for closures that capture unique_ptrs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace lion {
+
+template <typename Signature>
+class MoveFn;
+
+/// Drop-in replacement for std::function on paths whose closures need to
+/// capture move-only state (TxnPtr, unique_ptr-owned batches). Unlike
+/// std::function it never requires the target to be copyable, so scheduler
+/// callbacks can own their transaction outright instead of smuggling it
+/// through a shared_ptr shim.
+template <typename R, typename... Args>
+class MoveFn<R(Args...)> {
+ public:
+  MoveFn() = default;
+  MoveFn(std::nullptr_t) {}  // NOLINT: implicit, mirrors std::function
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, MoveFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  MoveFn(F&& fn)  // NOLINT: implicit, mirrors std::function
+      : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(fn))) {}
+
+  MoveFn(MoveFn&&) = default;
+  MoveFn& operator=(MoveFn&&) = default;
+  MoveFn(const MoveFn&) = delete;
+  MoveFn& operator=(const MoveFn&) = delete;
+
+  R operator()(Args... args) {
+    if (impl_ == nullptr) {
+      // Mirror std::function's bad_function_call diagnosability without
+      // exceptions: fail loudly at the call, not as a remote segfault.
+      std::fprintf(stderr, "fatal: invoking an empty MoveFn\n");
+      std::abort();
+    }
+    return impl_->Invoke(std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+ private:
+  struct Base {
+    virtual ~Base() = default;
+    virtual R Invoke(Args...) = 0;
+  };
+  template <typename F>
+  struct Impl final : Base {
+    explicit Impl(F f) : fn(std::move(f)) {}
+    R Invoke(Args... args) override {
+      return fn(std::forward<Args>(args)...);
+    }
+    F fn;
+  };
+
+  std::unique_ptr<Base> impl_;
+};
+
+}  // namespace lion

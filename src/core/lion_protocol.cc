@@ -2,6 +2,9 @@
 
 #include <memory>
 
+#include "core/predictor.h"
+#include "harness/registry.h"
+
 namespace lion {
 
 /// One epoch's buffered transactions (batch execution, Sec. IV-D).
@@ -22,31 +25,35 @@ struct LionProtocol::Batch {
 };
 
 LionProtocol::LionProtocol(Cluster* cluster, MetricsCollector* metrics,
-                           LionOptions options, PredictorInterface* predictor)
+                           LionOptions options,
+                           std::unique_ptr<PredictorInterface> predictor)
     : Protocol(cluster, metrics),
       options_(options),
       engine_(cluster, metrics),
       router_(cluster, options.cost),
       cost_model_(options.cost),
+      predictor_(std::move(predictor)),
       current_batch_(std::make_shared<Batch>()) {
   if (options_.enable_planner) {
-    planner_ = std::make_unique<Planner>(cluster, options_.planner, predictor);
+    planner_ = std::make_unique<Planner>(cluster, options_.planner,
+                                         predictor_.get());
   }
 }
 
 void LionProtocol::Start() {
   if (planner_ != nullptr) planner_->Start();
-  if (options_.batch_mode && !epoch_timer_started_) {
-    epoch_timer_started_ = true;
-    cluster_->sim()->ScheduleWeak(cluster_->config().epoch_interval,
-                                  [this]() { EpochTick(); });
-  }
+  if (options_.batch_mode) StartEpochTimer();
 }
 
-void LionProtocol::EpochTick() {
+void LionProtocol::Stop() {
+  Protocol::Stop();
+  if (planner_ != nullptr) planner_->Stop();
+  if (options_.batch_mode) FlushBatch();
+}
+
+void LionProtocol::OnEpoch(SimTime now) {
+  (void)now;
   FlushBatch();
-  cluster_->sim()->ScheduleWeak(cluster_->config().epoch_interval,
-                                [this]() { EpochTick(); });
 }
 
 void LionProtocol::Submit(TxnPtr txn, TxnDoneFn done) {
@@ -192,6 +199,15 @@ void LionProtocol::SubmitBatch(TxnPtr txn, TxnDoneFn done) {
   }
 
   if (batch->entries.size() >= options_.max_batch_size) FlushBatch();
+
+  // After Stop() the epoch timer no longer flushes; a retry resubmitted
+  // here (RetryAfterBackoff re-enters Submit) would otherwise sit in the
+  // fresh batch forever. Schedule one more flush so its completion fires;
+  // deferred an epoch so conflicting locks can clear first.
+  if (stopped()) {
+    cluster_->sim()->Schedule(cluster_->config().epoch_interval,
+                              [this]() { FlushBatch(); });
+  }
 }
 
 void LionProtocol::FlushBatch() {
@@ -239,5 +255,63 @@ void LionProtocol::ExecuteBatch(const std::shared_ptr<Batch>& batch) {
     Execute(raw, entry.dst, cls, finish);
   }
 }
+
+
+// Self-registration of the Lion family (Table II): each variant toggles the
+// partitioning strategy, batch execution, and the LSTM predictor. The
+// predictor is created here and owned by the protocol instance.
+namespace {
+
+std::unique_ptr<Protocol> MakeLionVariant(const ProtocolContext& ctx,
+                                          PartitioningStrategy strategy,
+                                          bool batch, bool predict) {
+  LionOptions opts = ctx.config.lion;
+  opts.planner.strategy = strategy;
+  opts.batch_mode = batch;
+  opts.group_commit = batch;
+  std::unique_ptr<PredictorInterface> predictor;
+  if (predict) {
+    predictor = std::make_unique<LstmPredictor>(ctx.config.predictor,
+                                                ctx.config.seed + 101);
+  }
+  return std::make_unique<LionProtocol>(ctx.cluster, ctx.metrics, opts,
+                                        std::move(predictor));
+}
+
+constexpr auto kRearrange = PartitioningStrategy::kReplicaRearrangement;
+constexpr auto kSchism = PartitioningStrategy::kSchism;
+
+// Standard-execution Lion with prediction (the non-batch figures).
+const ProtocolRegistrar kRegisterLion(
+    "Lion", ExecutionMode::kStandard, [](const ProtocolContext& ctx) {
+      return MakeLionVariant(ctx, kRearrange, /*batch=*/false, /*predict=*/true);
+    });
+const ProtocolRegistrar kRegisterLionS(
+    "Lion(S)", ExecutionMode::kStandard, [](const ProtocolContext& ctx) {
+      return MakeLionVariant(ctx, kSchism, /*batch=*/false, /*predict=*/false);
+    });
+const ProtocolRegistrar kRegisterLionSW(
+    "Lion(SW)", ExecutionMode::kStandard, [](const ProtocolContext& ctx) {
+      return MakeLionVariant(ctx, kSchism, /*batch=*/false, /*predict=*/true);
+    });
+const ProtocolRegistrar kRegisterLionR(
+    "Lion(R)", ExecutionMode::kStandard, [](const ProtocolContext& ctx) {
+      return MakeLionVariant(ctx, kRearrange, /*batch=*/false, /*predict=*/false);
+    });
+const ProtocolRegistrar kRegisterLionRW(
+    "Lion(RW)", ExecutionMode::kStandard, [](const ProtocolContext& ctx) {
+      return MakeLionVariant(ctx, kRearrange, /*batch=*/false, /*predict=*/true);
+    });
+const ProtocolRegistrar kRegisterLionRB(
+    "Lion(RB)", ExecutionMode::kBatch, [](const ProtocolContext& ctx) {
+      return MakeLionVariant(ctx, kRearrange, /*batch=*/true, /*predict=*/false);
+    });
+// Lion(B) = full batch Lion: rearrangement + prediction + batch execution.
+const ProtocolRegistrar kRegisterLionB(
+    "Lion(B)", ExecutionMode::kBatch, [](const ProtocolContext& ctx) {
+      return MakeLionVariant(ctx, kRearrange, /*batch=*/true, /*predict=*/true);
+    });
+
+}  // namespace
 
 }  // namespace lion

@@ -42,17 +42,26 @@ struct LionOptions {
 /// background; the router sends transactions wherever execution is cheapest.
 class LionProtocol : public Protocol {
  public:
-  /// `predictor` may be null (no workload prediction). Not owned.
+  /// `predictor` may be null (no workload prediction). The protocol owns
+  /// the predictor for its whole lifetime — callers hand it over and keep,
+  /// at most, the raw observer pointer from predictor().
   LionProtocol(Cluster* cluster, MetricsCollector* metrics, LionOptions options,
-               PredictorInterface* predictor = nullptr);
+               std::unique_ptr<PredictorInterface> predictor = nullptr);
 
   std::string name() const override {
     return options_.batch_mode ? "Lion(batch)" : "Lion";
   }
   void Start() override;
+  /// Halts the planner (no new migrations/remasters) and flushes any
+  /// batch-buffered transactions so their completions still fire.
+  void Stop() override;
+  /// Epoch boundary (batch mode): flush the buffered batch.
+  void OnEpoch(SimTime now) override;
+
   void Submit(TxnPtr txn, TxnDoneFn done) override;
 
   Planner* planner() { return planner_.get(); }
+  PredictorInterface* predictor() { return predictor_.get(); }
   const TxnRouter& router() const { return router_; }
 
   uint64_t remaster_requests() const { return remaster_requests_; }
@@ -65,7 +74,6 @@ class LionProtocol : public Protocol {
   void SubmitStandard(TxnPtr txn, TxnDoneFn done);
   void SubmitBatch(TxnPtr txn, TxnDoneFn done);
   void FlushBatch();
-  void EpochTick();
   void ExecuteBatch(const std::shared_ptr<Batch>& batch);
   void Execute(Transaction* txn, NodeId dst, ExecClass cls,
                std::function<void(bool)> cb);
@@ -81,11 +89,11 @@ class LionProtocol : public Protocol {
   TwoPhaseEngine engine_;
   TxnRouter router_;
   CostModel cost_model_;
+  std::unique_ptr<PredictorInterface> predictor_;
   std::unique_ptr<Planner> planner_;
 
   // Batch mode state.
   std::shared_ptr<Batch> current_batch_;
-  bool epoch_timer_started_ = false;
 
   uint64_t remaster_requests_ = 0;
   uint64_t remaster_conversions_ = 0;

@@ -21,12 +21,19 @@ Planner::Planner(Cluster* cluster, PlannerConfig config,
 }
 
 void Planner::Start() {
-  if (started_) return;
+  stopped_ = false;
+  if (started_) return;  // a pending tick resumes the loop
   started_ = true;
   cluster_->sim()->ScheduleWeak(config_.interval, [this]() { Tick(); });
 }
 
+void Planner::Stop() { stopped_ = true; }
+
 void Planner::Tick() {
+  if (stopped_) {
+    started_ = false;
+    return;
+  }
   RunOnce();
   cluster_->sim()->ScheduleWeak(config_.interval, [this]() { Tick(); });
 }

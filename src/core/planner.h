@@ -52,6 +52,10 @@ class Planner {
   /// Starts the periodic planning loop (weak timer).
   void Start();
 
+  /// Halts the planning loop: no further rounds run, so no new migrations
+  /// or remasters are initiated. Idempotent; Start() may re-arm it.
+  void Stop();
+
   /// Records one routed transaction's partition set into the history.
   void RecordTxn(const std::vector<PartitionId>& parts, SimTime now);
 
@@ -81,6 +85,7 @@ class Planner {
   uint64_t plans_generated_ = 0;
   uint64_t entries_dispatched_ = 0;
   bool started_ = false;
+  bool stopped_ = false;
   ReconfigurationPlan last_plan_;
 };
 

@@ -1,171 +1,281 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <utility>
 
 #include "harness/driver.h"
-#include "protocols/aria.h"
-#include "protocols/calvin.h"
-#include "protocols/hermes.h"
-#include "protocols/leap.h"
-#include "protocols/lotus.h"
-#include "protocols/star.h"
-#include "protocols/twopc.h"
 
 namespace lion {
 
-bool IsBatchProtocol(const std::string& p) {
-  return p == "Star" || p == "Calvin" || p == "Hermes" || p == "Aria" ||
-         p == "Lotus" || p == "Lion(RB)" || p == "Lion(B)";
-}
-
-std::unique_ptr<Protocol> MakeProtocol(
-    const ExperimentConfig& cfg, Cluster* cluster, MetricsCollector* metrics,
-    std::unique_ptr<PredictorInterface>* predictor_out) {
-  const std::string& name = cfg.protocol;
-  if (name == "2PC") return std::make_unique<TwoPcProtocol>(cluster, metrics);
-  if (name == "Leap") return std::make_unique<LeapProtocol>(cluster, metrics);
-  if (name == "Clay")
-    return std::make_unique<ClayProtocol>(cluster, metrics, cfg.clay);
-  if (name == "Star") return std::make_unique<StarProtocol>(cluster, metrics);
-  if (name == "Calvin")
-    return std::make_unique<CalvinProtocol>(cluster, metrics);
-  if (name == "Hermes")
-    return std::make_unique<HermesProtocol>(cluster, metrics);
-  if (name == "Aria") return std::make_unique<AriaProtocol>(cluster, metrics);
-  if (name == "Lotus") return std::make_unique<LotusProtocol>(cluster, metrics);
-
-  // Lion family (Table II variants).
-  LionOptions opts = cfg.lion;
-  bool want_predictor = false;
-  opts.group_commit = false;  // batch variants override below
-  if (name == "Lion(S)") {
-    opts.planner.strategy = PartitioningStrategy::kSchism;
-    opts.batch_mode = false;
-  } else if (name == "Lion(SW)") {
-    opts.planner.strategy = PartitioningStrategy::kSchism;
-    opts.batch_mode = false;
-    want_predictor = true;
-  } else if (name == "Lion(R)") {
-    opts.planner.strategy = PartitioningStrategy::kReplicaRearrangement;
-    opts.batch_mode = false;
-  } else if (name == "Lion(RW)") {
-    opts.planner.strategy = PartitioningStrategy::kReplicaRearrangement;
-    opts.batch_mode = false;
-    want_predictor = true;
-  } else if (name == "Lion(RB)") {
-    opts.planner.strategy = PartitioningStrategy::kReplicaRearrangement;
-    opts.batch_mode = true;
-    opts.group_commit = true;
-  } else if (name == "Lion(B)") {
-    opts.planner.strategy = PartitioningStrategy::kReplicaRearrangement;
-    opts.batch_mode = true;
-    opts.group_commit = true;
-    want_predictor = true;
-  } else if (name == "Lion") {
-    // Standard-execution Lion with prediction (the non-batch figures).
-    opts.planner.strategy = PartitioningStrategy::kReplicaRearrangement;
-    opts.batch_mode = false;
-    want_predictor = true;
-  } else {
-    return nullptr;
-  }
-
-  PredictorInterface* predictor = nullptr;
-  if (want_predictor && predictor_out != nullptr) {
-    auto p = std::make_unique<LstmPredictor>(cfg.predictor, cfg.seed + 101);
-    predictor = p.get();
-    *predictor_out = std::move(p);
-  }
-  return std::make_unique<LionProtocol>(cluster, metrics, opts, predictor);
-}
-
 namespace {
 
-std::unique_ptr<WorkloadGenerator> MakeWorkload(const ExperimentConfig& cfg,
-                                                Cluster* cluster) {
-  if (cfg.workload == "ycsb") {
-    return std::make_unique<YcsbWorkload>(cfg.cluster, cfg.ycsb);
+void AppendJsonField(std::string* out, const char* key, double value,
+                     bool* first) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  if (!*first) *out += ",";
+  *first = false;
+  *out += "\"";
+  *out += key;
+  *out += "\":";
+  *out += buf;
+}
+
+void AppendJsonField(std::string* out, const char* key, uint64_t value,
+                     bool* first) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += "\"";
+  *out += key;
+  *out += "\":";
+  *out += std::to_string(value);
+}
+
+void AppendJsonField(std::string* out, const char* key,
+                     const std::string& value, bool* first) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += "\"";
+  *out += key;
+  *out += "\":\"";
+  *out += value;  // names are registry identifiers: no escaping needed
+  *out += "\"";
+}
+
+void AppendJsonSeries(std::string* out, const char* key,
+                      const std::vector<double>& values, bool* first) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += "\"";
+  *out += key;
+  *out += "\":[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", values[i]);
+    if (i > 0) *out += ",";
+    *out += buf;
   }
-  if (cfg.workload == "tpcc") {
-    auto w = std::make_unique<TpccWorkload>(cfg.cluster, cfg.tpcc);
-    w->Load(cluster);
-    return w;
-  }
-  if (cfg.workload == "ycsb-hotspot-interval") {
-    return std::make_unique<DynamicYcsbWorkload>(
-        cfg.cluster,
-        DynamicYcsbWorkload::HotspotInterval(cfg.cluster, cfg.dynamic_period));
-  }
-  if (cfg.workload == "ycsb-hotspot-position") {
-    return std::make_unique<DynamicYcsbWorkload>(
-        cfg.cluster,
-        DynamicYcsbWorkload::HotspotPosition(cfg.cluster, cfg.dynamic_period));
-  }
-  return nullptr;
+  *out += "]";
 }
 
 }  // namespace
 
-ExperimentResult RunExperiment(const ExperimentConfig& cfg) {
-  Simulator sim(cfg.seed);
-  Cluster cluster(&sim, cfg.cluster);
-  MetricsCollector metrics(cfg.cluster.net.stats_window);
-  std::unique_ptr<PredictorInterface> predictor;
-  std::unique_ptr<Protocol> protocol =
-      MakeProtocol(cfg, &cluster, &metrics, &predictor);
-  std::unique_ptr<WorkloadGenerator> workload = MakeWorkload(cfg, &cluster);
+std::string ExperimentResult::ToJson() const {
+  std::string json = "{";
+  bool first = true;
+  AppendJsonField(&json, "protocol", protocol, &first);
+  AppendJsonField(&json, "workload", workload, &first);
+  AppendJsonField(&json, "seed", seed, &first);
+  AppendJsonField(&json, "throughput_txn_s", throughput, &first);
+  AppendJsonField(&json, "committed", committed, &first);
+  AppendJsonField(&json, "aborts", aborts, &first);
+  AppendJsonField(&json, "single_node", single_node, &first);
+  AppendJsonField(&json, "remastered", remastered, &first);
+  AppendJsonField(&json, "distributed", distributed, &first);
+  AppendJsonField(&json, "p10_us", p10_us, &first);
+  AppendJsonField(&json, "p50_us", p50_us, &first);
+  AppendJsonField(&json, "p95_us", p95_us, &first);
+  AppendJsonField(&json, "p99_us", p99_us, &first);
+  AppendJsonField(&json, "bytes_per_txn", bytes_per_txn, &first);
+  AppendJsonField(&json, "remasters", remasters, &first);
+  AppendJsonField(&json, "migrations", migrations, &first);
+  AppendJsonField(&json, "migrated_bytes", migrated_bytes, &first);
+  AppendJsonField(&json, "window_ns", static_cast<uint64_t>(window), &first);
+  json += ",\"breakdown_us\":{";
+  bool bfirst = true;
+  AppendJsonField(&json, "scheduling", breakdown.scheduling / 1000.0, &bfirst);
+  AppendJsonField(&json, "execution", breakdown.execution / 1000.0, &bfirst);
+  AppendJsonField(&json, "commit", breakdown.commit / 1000.0, &bfirst);
+  AppendJsonField(&json, "replication", breakdown.replication / 1000.0,
+                  &bfirst);
+  AppendJsonField(&json, "other", breakdown.other / 1000.0, &bfirst);
+  json += "}";
+  first = false;
+  AppendJsonSeries(&json, "window_throughput", window_throughput, &first);
+  AppendJsonSeries(&json, "window_bytes_per_txn", window_bytes_per_txn,
+                   &first);
+  json += "}";
+  return json;
+}
 
-  int concurrency = cfg.concurrency;
-  if (concurrency == 0) {
-    concurrency = IsBatchProtocol(cfg.protocol)
-                      ? 4000
-                      : cfg.cluster.num_nodes * cfg.cluster.workers_per_node;
+Status ExperimentBuilder::Validate() const {
+  Status protocol_exists =
+      ProtocolRegistry::Global().CheckExists(config_.protocol);
+  if (!protocol_exists.ok()) return protocol_exists;
+  Status workload_exists =
+      WorkloadRegistry::Global().CheckExists(config_.workload);
+  if (!workload_exists.ok()) return workload_exists;
+  if (config_.duration <= 0)
+    return Status::InvalidArgument("duration must be positive");
+  if (config_.warmup < 0)
+    return Status::InvalidArgument("warmup must be non-negative");
+  if (config_.concurrency < 0)
+    return Status::InvalidArgument("concurrency must be non-negative");
+  if (config_.cluster.num_nodes <= 0)
+    return Status::InvalidArgument("cluster needs at least one node");
+  if (config_.cluster.partitions_per_node <= 0)
+    return Status::InvalidArgument("cluster needs partitions per node");
+  if (config_.cluster.workers_per_node <= 0)
+    return Status::InvalidArgument("cluster needs workers per node");
+  if (config_.cluster.net.stats_window <= 0)
+    return Status::InvalidArgument("stats window must be positive");
+  // Zero-period timers self-reschedule at the same timestamp forever, so a
+  // run would hang instead of returning.
+  if (config_.cluster.epoch_interval <= 0)
+    return Status::InvalidArgument("epoch interval must be positive");
+  if (config_.lion.planner.interval <= 0)
+    return Status::InvalidArgument("planner interval must be positive");
+  if (config_.predictor.sample_interval <= 0)
+    return Status::InvalidArgument("predictor sample interval must be positive");
+  if (config_.clay.monitor_interval <= 0)
+    return Status::InvalidArgument("clay monitor interval must be positive");
+  if (config_.dynamic_period <= 0)
+    return Status::InvalidArgument("dynamic period must be positive");
+  return Status::OK();
+}
+
+Status ExperimentBuilder::Build(std::unique_ptr<Experiment>* out) const {
+  Status valid = Validate();
+  if (!valid.ok()) return valid;
+
+  auto ex = std::unique_ptr<Experiment>(new Experiment());
+  ex->config_ = config_;
+  ex->window_callbacks_ = window_callbacks_;
+  ex->sim_ = std::make_unique<Simulator>(config_.seed);
+  ex->cluster_ = std::make_unique<lion::Cluster>(ex->sim_.get(),
+                                                 config_.cluster);
+  ex->metrics_ =
+      std::make_unique<MetricsCollector>(config_.cluster.net.stats_window);
+
+  ProtocolContext pctx{config_, ex->cluster_.get(), ex->metrics_.get()};
+  Status s = ProtocolRegistry::Global().Create(config_.protocol, pctx,
+                                               &ex->protocol_);
+  if (!s.ok()) return s;
+
+  WorkloadContext wctx{config_, ex->cluster_.get()};
+  s = WorkloadRegistry::Global().Create(config_.workload, wctx,
+                                        &ex->workload_);
+  if (!s.ok()) return s;
+
+  ex->concurrency_ = config_.concurrency;
+  if (ex->concurrency_ == 0) {
+    ex->concurrency_ =
+        ProtocolRegistry::Global().IsBatch(config_.protocol)
+            ? 4000
+            : config_.cluster.num_nodes * config_.cluster.workers_per_node;
   }
 
-  cluster.Start();
-  protocol->Start();
-  ClosedLoopDriver driver(&sim, protocol.get(), workload.get(), &metrics,
-                          concurrency);
-  driver.Start();
+  *out = std::move(ex);
+  return Status::OK();
+}
 
-  sim.RunUntil(cfg.warmup);
-  metrics.StartMeasurement(sim.Now());
-  sim.RunUntil(cfg.warmup + cfg.duration);
-  SimTime measured_end = sim.Now();
-  double throughput = metrics.Throughput(measured_end);
-  driver.Stop();
+Status ExperimentBuilder::Run(ExperimentResult* out) const {
+  std::unique_ptr<Experiment> ex;
+  Status s = Build(&ex);
+  if (!s.ok()) return s;
+  *out = ex->Run();
+  return Status::OK();
+}
 
+Experiment::~Experiment() = default;
+
+void Experiment::ScheduleWindowTick(size_t index) {
+  SimTime window = metrics_->window();
+  SimTime boundary = static_cast<SimTime>(index + 1) * window;
+  // Weak: the window reporter is background machinery and must not keep
+  // RunUntilIdle-style quiescence from terminating.
+  sim_->ScheduleWeak(boundary - sim_->Now(), [this, index]() {
+    WindowStats stats;
+    stats.index = index;
+    stats.end_time = sim_->Now();
+    stats.throughput = index < metrics_->window_commits().size()
+                           ? metrics_->WindowThroughput(index)
+                           : 0.0;
+    const auto& bytes = network_window_bytes();
+    const auto& commits = metrics_->window_commits();
+    if (index < bytes.size() && index < commits.size() &&
+        commits[index] > 0) {
+      stats.bytes_per_txn = static_cast<double>(bytes[index]) /
+                            static_cast<double>(commits[index]);
+    }
+    for (WindowCallback& cb : window_callbacks_) cb(stats);
+    // Only re-arm if the next boundary still falls inside the run —
+    // otherwise a stale tick would outlive Run() and fire a spurious
+    // callback if the caller advances the simulator afterwards.
+    if (sim_->Now() + metrics_->window() <=
+        config_.warmup + config_.duration) {
+      ScheduleWindowTick(index + 1);
+    }
+  });
+}
+
+const std::vector<uint64_t>& Experiment::network_window_bytes() const {
+  return cluster_->network().window_bytes();
+}
+
+ExperimentResult Experiment::Run() {
+  if (ran_) return result_;
+  ran_ = true;
+
+  cluster_->Start();
+  protocol_->Start();
+  driver_ = std::make_unique<ClosedLoopDriver>(
+      sim_.get(), protocol_.get(), workload_.get(), metrics_.get(),
+      concurrency_);
+  driver_->Start();
+  // Same guard as the re-arm below: only schedule ticks whose boundary
+  // falls inside the run, so none outlive Run().
+  if (!window_callbacks_.empty() &&
+      metrics_->window() <= config_.warmup + config_.duration) {
+    ScheduleWindowTick(0);
+  }
+
+  sim_->RunUntil(config_.warmup);
+  metrics_->StartMeasurement(sim_->Now());
+  sim_->RunUntil(config_.warmup + config_.duration);
+  driver_->Stop();
+  protocol_->Stop();
+
+  result_ = Collect();
+  return result_;
+}
+
+ExperimentResult Experiment::Collect() {
   ExperimentResult res;
-  res.protocol = cfg.protocol;
-  res.throughput = throughput;
-  res.committed = metrics.committed();
-  res.aborts = metrics.aborts();
-  res.single_node = metrics.single_node();
-  res.remastered = metrics.remastered();
-  res.distributed = metrics.distributed();
-  res.p10_us = metrics.latency().Percentile(0.10) / 1000.0;
-  res.p50_us = metrics.latency().Percentile(0.50) / 1000.0;
-  res.p95_us = metrics.latency().Percentile(0.95) / 1000.0;
-  res.p99_us = metrics.latency().Percentile(0.99) / 1000.0;
-  res.breakdown = metrics.breakdown_sum();
-  res.window = metrics.window();
+  res.protocol = config_.protocol;
+  res.workload = config_.workload;
+  res.seed = config_.seed;
+  res.throughput = metrics_->Throughput(sim_->Now());
+  res.committed = metrics_->committed();
+  res.aborts = metrics_->aborts();
+  res.single_node = metrics_->single_node();
+  res.remastered = metrics_->remastered();
+  res.distributed = metrics_->distributed();
+  res.p10_us = metrics_->latency().Percentile(0.10) / 1000.0;
+  res.p50_us = metrics_->latency().Percentile(0.50) / 1000.0;
+  res.p95_us = metrics_->latency().Percentile(0.95) / 1000.0;
+  res.p99_us = metrics_->latency().Percentile(0.99) / 1000.0;
+  res.breakdown = metrics_->breakdown_sum();
+  res.window = metrics_->window();
 
-  const auto& commits = metrics.window_commits();
-  const auto& bytes = cluster.network().window_bytes();
+  const auto& commits = metrics_->window_commits();
+  const auto& bytes = cluster_->network().window_bytes();
   for (size_t i = 0; i < commits.size(); ++i) {
-    res.window_throughput.push_back(metrics.WindowThroughput(i));
+    res.window_throughput.push_back(metrics_->WindowThroughput(i));
     double b = i < bytes.size() ? static_cast<double>(bytes[i]) : 0.0;
     res.window_bytes_per_txn.push_back(
         commits[i] > 0 ? b / static_cast<double>(commits[i]) : 0.0);
   }
-  if (metrics.committed() > 0) {
-    res.bytes_per_txn = static_cast<double>(cluster.network().total_bytes()) /
-                        static_cast<double>(metrics.committed() +
-                                            std::max<uint64_t>(1, metrics.aborts()));
+  if (metrics_->committed() > 0) {
+    res.bytes_per_txn =
+        static_cast<double>(cluster_->network().total_bytes()) /
+        static_cast<double>(metrics_->committed() +
+                            std::max<uint64_t>(1, metrics_->aborts()));
   }
-  res.remasters = cluster.remaster().remasters_completed();
-  res.migrations = cluster.migration().migrations_completed();
-  res.migrated_bytes = cluster.migration().migrated_bytes();
+  res.remasters = cluster_->remaster().remasters_completed();
+  res.migrations = cluster_->migration().migrations_completed();
+  res.migrated_bytes = cluster_->migration().migrated_bytes();
   return res;
 }
 

@@ -1,52 +1,33 @@
-// End-to-end experiment runner: cluster + protocol + workload + metrics.
+// End-to-end experiment harness: an Experiment owns the full component
+// lifecycle (simulator, cluster, metrics, protocol, workload); an
+// ExperimentBuilder validates a declarative config against the registries
+// and assembles the Experiment. Protocols and workloads are resolved by
+// name through ProtocolRegistry / WorkloadRegistry — adding one is a
+// one-file operation with no harness edits.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "core/lion_protocol.h"
-#include "core/predictor.h"
+#include "common/status.h"
+#include "harness/driver.h"
+#include "harness/experiment_config.h"
+#include "harness/registry.h"
 #include "metrics/metrics.h"
-#include "protocols/clay.h"
 #include "protocols/protocol.h"
 #include "replication/cluster.h"
-#include "workload/dynamic.h"
-#include "workload/tpcc.h"
-#include "workload/ycsb.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
 
 namespace lion {
-
-/// Declarative description of one experiment run. Protocol names:
-///   standard: "2PC", "Leap", "Clay", "Lion", and the ablation variants
-///             "Lion(S)", "Lion(R)", "Lion(SW)", "Lion(RW)"
-///   batch:    "Star", "Calvin", "Hermes", "Aria", "Lotus",
-///             "Lion(RB)", "Lion(B)"  (Lion(B) = full batch Lion)
-/// Workloads: "ycsb", "tpcc", "ycsb-hotspot-interval", "ycsb-hotspot-position".
-struct ExperimentConfig {
-  std::string protocol = "Lion";
-  std::string workload = "ycsb";
-  ClusterConfig cluster;
-  YcsbConfig ycsb;
-  TpccConfig tpcc;
-  /// Period length for the dynamic scenarios (paper: 60 s, scaled here).
-  SimTime dynamic_period = 5 * kSecond;
-
-  /// Closed-loop concurrency; 0 = derive from the protocol type
-  /// (nodes x workers for standard, a large open window for batch).
-  int concurrency = 0;
-  SimTime warmup = 1 * kSecond;
-  SimTime duration = 3 * kSecond;
-  uint64_t seed = 1;
-
-  LionOptions lion;          // tuned per variant by the factory
-  PredictorConfig predictor;
-  ClayConfig clay;
-};
 
 /// Everything measured in one run.
 struct ExperimentResult {
   std::string protocol;
+  std::string workload;
+  uint64_t seed = 1;
   double throughput = 0.0;  // committed txns / measured second
   uint64_t committed = 0;
   uint64_t aborts = 0;
@@ -64,18 +45,165 @@ struct ExperimentResult {
   uint64_t migrations = 0;
   uint64_t migrated_bytes = 0;
   SimTime window = 0;
+
+  /// Structured emission: one self-contained JSON object with every field
+  /// above (series included), for dashboards and sweep post-processing.
+  std::string ToJson() const;
 };
 
-/// True if `protocol` buffers transactions into epochs.
-bool IsBatchProtocol(const std::string& protocol);
+/// Snapshot of one closed stats window, delivered to OnWindow callbacks
+/// while the experiment runs.
+struct WindowStats {
+  size_t index = 0;
+  SimTime end_time = 0;
+  double throughput = 0.0;      // txn/s committed in this window
+  double bytes_per_txn = 0.0;   // network bytes per commit in this window
+};
 
-/// Builds a protocol instance by name. `predictor_out`, when non-null,
-/// receives ownership of the predictor created for Lion(.W) variants.
-std::unique_ptr<Protocol> MakeProtocol(
-    const ExperimentConfig& cfg, Cluster* cluster, MetricsCollector* metrics,
-    std::unique_ptr<PredictorInterface>* predictor_out);
+using WindowCallback = std::function<void(const WindowStats&)>;
 
-/// Runs the experiment to completion and gathers all metrics.
-ExperimentResult RunExperiment(const ExperimentConfig& cfg);
+/// One fully assembled run. Owns every component — simulator, cluster,
+/// metrics, protocol (which in turn owns its predictor) and workload — and
+/// drives the protocol lifecycle (Start/Stop) around the measured interval.
+/// Obtain instances from ExperimentBuilder::Build; Run() executes the
+/// warmup + measurement schedule and gathers the result. Components stay
+/// accessible afterwards for inspection (tests, invariant checks).
+class Experiment {
+ public:
+  ~Experiment();
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Runs warmup + measurement to completion. Single-shot: the second call
+  /// returns the first run's result unchanged.
+  ExperimentResult Run();
+
+  const ExperimentConfig& config() const { return config_; }
+  Simulator* sim() { return sim_.get(); }
+  Cluster* cluster() { return cluster_.get(); }
+  MetricsCollector* metrics() { return metrics_.get(); }
+  Protocol* protocol() { return protocol_.get(); }
+  WorkloadGenerator* workload() { return workload_.get(); }
+  int concurrency() const { return concurrency_; }
+
+ private:
+  friend class ExperimentBuilder;
+  Experiment() = default;
+
+  void ScheduleWindowTick(size_t index);
+  const std::vector<uint64_t>& network_window_bytes() const;
+  ExperimentResult Collect();
+
+  ExperimentConfig config_;
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<MetricsCollector> metrics_;
+  std::unique_ptr<Protocol> protocol_;
+  std::unique_ptr<WorkloadGenerator> workload_;
+  // Owned (not Run-local): in-flight completion closures reference the
+  // driver, and the simulator they sit in outlives Run().
+  std::unique_ptr<ClosedLoopDriver> driver_;
+  std::vector<WindowCallback> window_callbacks_;
+  int concurrency_ = 0;
+  bool ran_ = false;
+  ExperimentResult result_;
+};
+
+/// Fluent assembly of an Experiment:
+///
+///   ExperimentResult res;
+///   Status status = ExperimentBuilder()
+///                       .Protocol("Lion")
+///                       .Workload("ycsb")
+///                       .Duration(2 * kSecond)
+///                       .Run(&res);
+///
+/// (Build(&experiment) instead of Run(&res) to own the assembled
+/// Experiment and drive it manually.) Build validates the whole config
+/// (names against the registries, sane timing/topology) and reports
+/// problems as Status instead of crashing.
+class ExperimentBuilder {
+ public:
+  ExperimentBuilder() = default;
+  /// Seeds every knob from an existing config (sweep loops mutate a base).
+  explicit ExperimentBuilder(ExperimentConfig config)
+      : config_(std::move(config)) {}
+
+  ExperimentBuilder& Protocol(std::string name) {
+    config_.protocol = std::move(name);
+    return *this;
+  }
+  ExperimentBuilder& Workload(std::string name) {
+    config_.workload = std::move(name);
+    return *this;
+  }
+  ExperimentBuilder& Cluster(const ClusterConfig& cluster) {
+    config_.cluster = cluster;
+    return *this;
+  }
+  ExperimentBuilder& Ycsb(const YcsbConfig& ycsb) {
+    config_.ycsb = ycsb;
+    return *this;
+  }
+  ExperimentBuilder& Tpcc(const TpccConfig& tpcc) {
+    config_.tpcc = tpcc;
+    return *this;
+  }
+  ExperimentBuilder& Lion(const LionOptions& lion) {
+    config_.lion = lion;
+    return *this;
+  }
+  ExperimentBuilder& Predictor(const PredictorConfig& predictor) {
+    config_.predictor = predictor;
+    return *this;
+  }
+  ExperimentBuilder& Clay(const ClayConfig& clay) {
+    config_.clay = clay;
+    return *this;
+  }
+  ExperimentBuilder& DynamicPeriod(SimTime period) {
+    config_.dynamic_period = period;
+    return *this;
+  }
+  ExperimentBuilder& Warmup(SimTime warmup) {
+    config_.warmup = warmup;
+    return *this;
+  }
+  ExperimentBuilder& Duration(SimTime duration) {
+    config_.duration = duration;
+    return *this;
+  }
+  ExperimentBuilder& Seed(uint64_t seed) {
+    config_.seed = seed;
+    return *this;
+  }
+  ExperimentBuilder& Concurrency(int concurrency) {
+    config_.concurrency = concurrency;
+    return *this;
+  }
+  /// Registers a per-window metrics callback, invoked live at every closed
+  /// stats window during Run(). May be called multiple times.
+  ExperimentBuilder& OnWindow(WindowCallback callback) {
+    window_callbacks_.push_back(std::move(callback));
+    return *this;
+  }
+
+  /// Escape hatch for knobs without a dedicated setter.
+  ExperimentConfig& config() { return config_; }
+  const ExperimentConfig& config() const { return config_; }
+
+  /// Validates the config; OK iff Build would succeed.
+  Status Validate() const;
+
+  /// Validates and assembles the full experiment.
+  Status Build(std::unique_ptr<Experiment>* out) const;
+
+  /// Build + Run in one step.
+  Status Run(ExperimentResult* out) const;
+
+ private:
+  ExperimentConfig config_;
+  std::vector<WindowCallback> window_callbacks_;
+};
 
 }  // namespace lion

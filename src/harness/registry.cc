@@ -1,0 +1,171 @@
+#include "harness/registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "protocols/protocol.h"
+#include "workload/workload.h"
+
+namespace lion {
+
+namespace {
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string joined;
+  for (const std::string& n : names) {
+    if (!joined.empty()) joined += ", ";
+    joined += n;
+  }
+  return joined;
+}
+
+}  // namespace
+
+ProtocolRegistry& ProtocolRegistry::Global() {
+  static ProtocolRegistry* registry = new ProtocolRegistry();
+  return *registry;
+}
+
+Status ProtocolRegistry::Register(const std::string& name, ExecutionMode mode,
+                                  ProtocolFactory factory) {
+  if (name.empty()) return Status::InvalidArgument("empty protocol name");
+  if (factory == nullptr)
+    return Status::InvalidArgument("null factory for protocol " + name);
+  auto [it, inserted] =
+      entries_.emplace(name, Entry{mode, std::move(factory)});
+  if (!inserted)
+    return Status::AlreadyExists("protocol already registered: " + name);
+  return Status::OK();
+}
+
+Status ProtocolRegistry::Unregister(const std::string& name) {
+  if (entries_.erase(name) == 0)
+    return Status::NotFound("protocol not registered: " + name);
+  return Status::OK();
+}
+
+Status ProtocolRegistry::CheckExists(const std::string& name) const {
+  if (entries_.count(name) > 0) return Status::OK();
+  return Status::NotFound("unknown protocol \"" + name +
+                          "\" (known: " + JoinedNames() + ")");
+}
+
+Status ProtocolRegistry::Create(const std::string& name,
+                                const ProtocolContext& ctx,
+                                std::unique_ptr<Protocol>* out) const {
+  Status exists = CheckExists(name);
+  if (!exists.ok()) return exists;
+  auto it = entries_.find(name);
+  std::unique_ptr<Protocol> protocol = it->second.factory(ctx);
+  if (protocol == nullptr)
+    return Status::Internal("factory for protocol " + name + " returned null");
+  *out = std::move(protocol);
+  return Status::OK();
+}
+
+Status ProtocolRegistry::Mode(const std::string& name,
+                              ExecutionMode* out) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end())
+    return Status::NotFound("unknown protocol: " + name);
+  *out = it->second.mode;
+  return Status::OK();
+}
+
+bool ProtocolRegistry::IsBatch(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() && it->second.mode == ExecutionMode::kBatch;
+}
+
+bool ProtocolRegistry::Contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+std::vector<std::string> ProtocolRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+std::string ProtocolRegistry::JoinedNames() const {
+  return JoinNames(Names());
+}
+
+WorkloadRegistry& WorkloadRegistry::Global() {
+  static WorkloadRegistry* registry = new WorkloadRegistry();
+  return *registry;
+}
+
+Status WorkloadRegistry::Register(const std::string& name,
+                                  WorkloadFactory factory) {
+  if (name.empty()) return Status::InvalidArgument("empty workload name");
+  if (factory == nullptr)
+    return Status::InvalidArgument("null factory for workload " + name);
+  auto [it, inserted] = entries_.emplace(name, std::move(factory));
+  if (!inserted)
+    return Status::AlreadyExists("workload already registered: " + name);
+  return Status::OK();
+}
+
+Status WorkloadRegistry::Unregister(const std::string& name) {
+  if (entries_.erase(name) == 0)
+    return Status::NotFound("workload not registered: " + name);
+  return Status::OK();
+}
+
+Status WorkloadRegistry::CheckExists(const std::string& name) const {
+  if (entries_.count(name) > 0) return Status::OK();
+  return Status::NotFound("unknown workload \"" + name +
+                          "\" (known: " + JoinedNames() + ")");
+}
+
+Status WorkloadRegistry::Create(const std::string& name,
+                                const WorkloadContext& ctx,
+                                std::unique_ptr<WorkloadGenerator>* out) const {
+  Status exists = CheckExists(name);
+  if (!exists.ok()) return exists;
+  auto it = entries_.find(name);
+  std::unique_ptr<WorkloadGenerator> workload = it->second(ctx);
+  if (workload == nullptr)
+    return Status::Internal("factory for workload " + name + " returned null");
+  *out = std::move(workload);
+  return Status::OK();
+}
+
+bool WorkloadRegistry::Contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+std::vector<std::string> WorkloadRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, factory] : entries_) names.push_back(name);
+  return names;
+}
+
+std::string WorkloadRegistry::JoinedNames() const {
+  return JoinNames(Names());
+}
+
+ProtocolRegistrar::ProtocolRegistrar(const std::string& name,
+                                     ExecutionMode mode,
+                                     ProtocolFactory factory) {
+  Status s = ProtocolRegistry::Global().Register(name, mode, std::move(factory));
+  if (!s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
+WorkloadRegistrar::WorkloadRegistrar(const std::string& name,
+                                     WorkloadFactory factory) {
+  Status s = WorkloadRegistry::Global().Register(name, std::move(factory));
+  if (!s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace lion

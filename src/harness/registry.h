@@ -1,0 +1,134 @@
+// Self-registering factories for protocols and workloads.
+//
+// Each protocol/workload .cc file places a file-scope registrar stanza:
+//
+//   namespace {
+//   const ProtocolRegistrar kRegisterTwoPc(
+//       "2PC", ExecutionMode::kStandard,
+//       [](const ProtocolContext& ctx) -> std::unique_ptr<Protocol> {
+//         return std::make_unique<TwoPcProtocol>(ctx.cluster, ctx.metrics);
+//       });
+//   }  // namespace
+//
+// so adding a protocol or workload is a one-file operation: no harness
+// edits, no string switch to extend. Lookup failures surface as Status
+// (kNotFound), never as crashes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "harness/experiment_config.h"
+
+namespace lion {
+
+class Cluster;
+class MetricsCollector;
+class Protocol;
+class WorkloadGenerator;
+
+/// Whether a protocol buffers transactions into epochs (batch) or executes
+/// each as it arrives (standard). Drives the default closed-loop window.
+enum class ExecutionMode { kStandard, kBatch };
+
+/// Everything a protocol factory may need: the full experiment config (each
+/// factory reads its own slice) plus the cluster substrate and metrics sink
+/// the instance will run against.
+struct ProtocolContext {
+  const ExperimentConfig& config;
+  Cluster* cluster = nullptr;
+  MetricsCollector* metrics = nullptr;
+};
+
+using ProtocolFactory =
+    std::function<std::unique_ptr<Protocol>(const ProtocolContext&)>;
+
+class ProtocolRegistry {
+ public:
+  /// The process-wide registry all registrar stanzas feed.
+  static ProtocolRegistry& Global();
+
+  /// Registers `name`; kAlreadyExists if the name is taken.
+  Status Register(const std::string& name, ExecutionMode mode,
+                  ProtocolFactory factory);
+
+  /// Removes `name` (test support); kNotFound if absent.
+  Status Unregister(const std::string& name);
+
+  /// Instantiates `name` against `ctx`. kNotFound lists the known names.
+  Status Create(const std::string& name, const ProtocolContext& ctx,
+                std::unique_ptr<Protocol>* out) const;
+
+  /// OK iff `name` is registered; otherwise the canonical kNotFound
+  /// listing the known names (the same status Create would return).
+  Status CheckExists(const std::string& name) const;
+
+  /// Execution mode of `name`; kNotFound if unregistered.
+  Status Mode(const std::string& name, ExecutionMode* out) const;
+
+  /// Convenience trait query: true iff `name` is registered as batch.
+  bool IsBatch(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Comma-joined Names(), for error messages and listings.
+  std::string JoinedNames() const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    ExecutionMode mode;
+    ProtocolFactory factory;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Context handed to workload factories. `cluster` is live so workloads
+/// that preload storage (TPC-C) can do so inside their factory.
+struct WorkloadContext {
+  const ExperimentConfig& config;
+  Cluster* cluster = nullptr;
+};
+
+using WorkloadFactory =
+    std::function<std::unique_ptr<WorkloadGenerator>(const WorkloadContext&)>;
+
+class WorkloadRegistry {
+ public:
+  static WorkloadRegistry& Global();
+
+  Status Register(const std::string& name, WorkloadFactory factory);
+  Status Unregister(const std::string& name);
+  Status Create(const std::string& name, const WorkloadContext& ctx,
+                std::unique_ptr<WorkloadGenerator>* out) const;
+  Status CheckExists(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> Names() const;
+  std::string JoinedNames() const;
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, WorkloadFactory> entries_;
+};
+
+/// File-scope registration helpers. Construction registers into the global
+/// registry; a duplicate name aborts at startup (a duplicate registrar is
+/// a programming error, caught before any experiment runs).
+struct ProtocolRegistrar {
+  ProtocolRegistrar(const std::string& name, ExecutionMode mode,
+                    ProtocolFactory factory);
+};
+
+struct WorkloadRegistrar {
+  WorkloadRegistrar(const std::string& name, WorkloadFactory factory);
+};
+
+}  // namespace lion

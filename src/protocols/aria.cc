@@ -2,6 +2,8 @@
 
 #include "protocols/batch_util.h"
 
+#include "harness/registry.h"
+
 namespace lion {
 
 namespace {
@@ -130,5 +132,16 @@ void AriaProtocol::CommitPhase(const std::shared_ptr<BatchState>& state) {
                             });
   }
 }
+
+
+// Self-registration: resolving "Aria" through ProtocolRegistry needs no
+// harness edits (see harness/registry.h).
+namespace {
+const ProtocolRegistrar kRegisterAriaProtocol(
+    "Aria", ExecutionMode::kBatch,
+    [](const ProtocolContext& ctx) -> std::unique_ptr<Protocol> {
+      return std::make_unique<AriaProtocol>(ctx.cluster, ctx.metrics);
+    });
+}  // namespace
 
 }  // namespace lion

@@ -21,11 +21,19 @@ class BatchProtocol : public Protocol {
                 size_t max_batch = 10000)
       : Protocol(cluster, metrics), max_batch_(max_batch) {}
 
-  void Start() override {
-    if (started_) return;
-    started_ = true;
-    cluster_->sim()->ScheduleWeak(cluster_->config().epoch_interval,
-                                  [this]() { Tick(); });
+  void Start() override { StartEpochTimer(); }
+
+  /// Flushes buffered transactions before halting the epoch timer, so
+  /// every submitted transaction's completion still fires.
+  void Stop() override {
+    Protocol::Stop();
+    Flush();
+  }
+
+  /// Epoch boundary: flush the buffered batch.
+  void OnEpoch(SimTime now) override {
+    (void)now;
+    Flush();
   }
 
   void Submit(TxnPtr txn, TxnDoneFn done) override {
@@ -53,11 +61,20 @@ class BatchProtocol : public Protocol {
     item->done(std::move(*item->txn));
   }
 
-  /// Re-queues an aborted item into the next batch.
+  /// Re-queues an aborted item into the next batch. After Stop() no epoch
+  /// tick remains to pick the retry up, so schedule one more flush an
+  /// epoch later — the completion must still fire. (Not synchronous: some
+  /// protocols hold locks to the epoch boundary, so an immediate re-flush
+  /// would re-conflict forever; a strong event also keeps RunUntilIdle
+  /// draining until the retry lands.)
   void Requeue(Item item) {
     metrics_->OnAbort();
     (*item.txn)->ResetForRestart();
     buffer_.push_back(std::move(item));
+    if (stopped()) {
+      cluster_->sim()->Schedule(cluster_->config().epoch_interval,
+                                [this]() { Flush(); });
+    }
   }
 
   /// Commits `item` once the current epoch closes (group visibility).
@@ -82,14 +99,7 @@ class BatchProtocol : public Protocol {
   size_t buffered() const { return buffer_.size(); }
 
  private:
-  void Tick() {
-    Flush();
-    cluster_->sim()->ScheduleWeak(cluster_->config().epoch_interval,
-                                  [this]() { Tick(); });
-  }
-
   size_t max_batch_;
-  bool started_ = false;
   std::vector<Item> buffer_;
 };
 

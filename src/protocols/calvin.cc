@@ -2,6 +2,8 @@
 
 #include "protocols/batch_util.h"
 
+#include "harness/registry.h"
+
 namespace lion {
 
 CalvinProtocol::CalvinProtocol(Cluster* cluster, MetricsCollector* metrics,
@@ -117,5 +119,16 @@ void CalvinProtocol::RunDeterministic(Item item) {
   }
   if (participants.empty()) (*after_locks_shared)();
 }
+
+
+// Self-registration: resolving "Calvin" through ProtocolRegistry needs no
+// harness edits (see harness/registry.h).
+namespace {
+const ProtocolRegistrar kRegisterCalvinProtocol(
+    "Calvin", ExecutionMode::kBatch,
+    [](const ProtocolContext& ctx) -> std::unique_ptr<Protocol> {
+      return std::make_unique<CalvinProtocol>(ctx.cluster, ctx.metrics);
+    });
+}  // namespace
 
 }  // namespace lion

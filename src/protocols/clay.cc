@@ -4,6 +4,8 @@
 
 #include "protocols/twopc.h"
 
+#include "harness/registry.h"
+
 namespace lion {
 
 ClayProtocol::ClayProtocol(Cluster* cluster, MetricsCollector* metrics,
@@ -14,12 +16,17 @@ ClayProtocol::ClayProtocol(Cluster* cluster, MetricsCollector* metrics,
       prev_busy_(cluster->num_nodes(), 0) {}
 
 void ClayProtocol::Start() {
-  if (started_) return;
+  stopped_ = false;
+  if (started_) return;  // a pending monitor tick resumes the loop
   started_ = true;
   cluster_->sim()->ScheduleWeak(config_.monitor_interval, [this]() { Monitor(); });
 }
 
 void ClayProtocol::Monitor() {
+  if (stopped()) {
+    started_ = false;
+    return;
+  }
   cluster_->sim()->ScheduleWeak(config_.monitor_interval, [this]() { Monitor(); });
 
   // Per-node worker busy time over the last monitoring window.
@@ -86,5 +93,16 @@ void ClayProtocol::Submit(TxnPtr txn, TxnDoneFn done) {
                 }
               });
 }
+
+
+// Self-registration: resolving "Clay" through ProtocolRegistry needs no
+// harness edits (see harness/registry.h).
+namespace {
+const ProtocolRegistrar kRegisterClayProtocol(
+    "Clay", ExecutionMode::kStandard,
+    [](const ProtocolContext& ctx) -> std::unique_ptr<Protocol> {
+      return std::make_unique<ClayProtocol>(ctx.cluster, ctx.metrics, ctx.config.clay);
+    });
+}  // namespace
 
 }  // namespace lion

@@ -5,6 +5,8 @@
 #include "protocols/batch_util.h"
 #include "txn/occ.h"
 
+#include "harness/registry.h"
+
 namespace lion {
 
 HermesProtocol::HermesProtocol(Cluster* cluster, MetricsCollector* metrics,
@@ -101,5 +103,16 @@ void HermesProtocol::RunLocal(std::shared_ptr<Item> item, NodeId dst) {
             });
       });
 }
+
+
+// Self-registration: resolving "Hermes" through ProtocolRegistry needs no
+// harness edits (see harness/registry.h).
+namespace {
+const ProtocolRegistrar kRegisterHermesProtocol(
+    "Hermes", ExecutionMode::kBatch,
+    [](const ProtocolContext& ctx) -> std::unique_ptr<Protocol> {
+      return std::make_unique<HermesProtocol>(ctx.cluster, ctx.metrics);
+    });
+}  // namespace
 
 }  // namespace lion

@@ -2,6 +2,8 @@
 
 #include "protocols/twopc.h"
 
+#include "harness/registry.h"
+
 namespace lion {
 
 LeapProtocol::LeapProtocol(Cluster* cluster, MetricsCollector* metrics)
@@ -63,5 +65,16 @@ void LeapProtocol::Submit(TxnPtr txn, TxnDoneFn done) {
     engine_.Run(raw, coord, opts, finish);
   });
 }
+
+
+// Self-registration: resolving "Leap" through ProtocolRegistry needs no
+// harness edits (see harness/registry.h).
+namespace {
+const ProtocolRegistrar kRegisterLeapProtocol(
+    "Leap", ExecutionMode::kStandard,
+    [](const ProtocolContext& ctx) -> std::unique_ptr<Protocol> {
+      return std::make_unique<LeapProtocol>(ctx.cluster, ctx.metrics);
+    });
+}  // namespace
 
 }  // namespace lion

@@ -2,6 +2,8 @@
 
 #include "protocols/batch_util.h"
 
+#include "harness/registry.h"
+
 namespace lion {
 
 LotusProtocol::LotusProtocol(Cluster* cluster, MetricsCollector* metrics)
@@ -91,5 +93,16 @@ void LotusProtocol::ExecuteBatch(std::vector<Item> batch) {
     });
   }
 }
+
+
+// Self-registration: resolving "Lotus" through ProtocolRegistry needs no
+// harness edits (see harness/registry.h).
+namespace {
+const ProtocolRegistrar kRegisterLotusProtocol(
+    "Lotus", ExecutionMode::kBatch,
+    [](const ProtocolContext& ctx) -> std::unique_ptr<Protocol> {
+      return std::make_unique<LotusProtocol>(ctx.cluster, ctx.metrics);
+    });
+}  // namespace
 
 }  // namespace lion

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "metrics/metrics.h"
 #include "replication/cluster.h"
@@ -29,9 +30,24 @@ class Protocol {
 
   virtual std::string name() const = 0;
 
+  // --- lifecycle (owned and driven by the Experiment harness) ----------------
+
   /// Installs periodic machinery (planners, sequencers, epoch switchers).
   /// Called once before any Submit.
   virtual void Start() {}
+
+  /// Tears down periodic machinery: the epoch timer stops rescheduling and
+  /// no new background work is started; in-flight transactions still
+  /// complete. Called once after the last Submit; idempotent. Overrides
+  /// must call the base implementation.
+  virtual void Stop() { stopped_ = true; }
+
+  /// Epoch-boundary hook, invoked every cluster `epoch_interval` once
+  /// StartEpochTimer() has been called (batch protocols flush here; others
+  /// may use it for stats or GC).
+  virtual void OnEpoch(SimTime now) { (void)now; }
+
+  bool stopped() const { return stopped_; }
 
   /// Takes ownership of `txn`, drives it to commit (retrying internally on
   /// aborts), then returns ownership via `done`.
@@ -42,20 +58,47 @@ class Protocol {
 
  protected:
   /// Re-submits an aborted transaction after a small randomized backoff.
+  /// The scheduler accepts move-only callables, so the closure owns the
+  /// transaction directly.
   void RetryAfterBackoff(TxnPtr txn, TxnDoneFn done) {
     txn->ResetForRestart();
     SimTime backoff =
         static_cast<SimTime>(cluster_->sim()->rng().Uniform(100)) * kMicrosecond;
-    auto self = this;
-    // shared_ptr shim: std::function closures must be copyable.
-    auto txn_shared = std::make_shared<TxnPtr>(std::move(txn));
-    cluster_->sim()->Schedule(backoff, [self, txn_shared, done]() {
-      self->Submit(std::move(*txn_shared), done);
-    });
+    cluster_->sim()->Schedule(
+        backoff, [this, txn = std::move(txn), done = std::move(done)]() mutable {
+          Submit(std::move(txn), std::move(done));
+        });
+  }
+
+  /// Installs the periodic weak event that drives OnEpoch at the cluster's
+  /// epoch interval until Stop(). Idempotent, and clears the stopped flag
+  /// so a Start() after Stop() re-arms the timer; call from Start().
+  void StartEpochTimer() {
+    stopped_ = false;
+    if (epoch_timer_running_) return;  // a pending tick resumes the chain
+    epoch_timer_running_ = true;
+    ScheduleEpochTick();
   }
 
   Cluster* cluster_;
   MetricsCollector* metrics_;
+  /// Set by Stop(); periodic loops in subclasses must check it (and clear
+  /// it again on restart, as StartEpochTimer does).
+  bool stopped_ = false;
+
+ private:
+  void ScheduleEpochTick() {
+    cluster_->sim()->ScheduleWeak(cluster_->config().epoch_interval, [this]() {
+      if (stopped_) {
+        epoch_timer_running_ = false;
+        return;
+      }
+      OnEpoch(cluster_->sim()->Now());
+      ScheduleEpochTick();
+    });
+  }
+
+  bool epoch_timer_running_ = false;
 };
 
 }  // namespace lion

@@ -2,6 +2,8 @@
 
 #include "protocols/batch_util.h"
 
+#include "harness/registry.h"
+
 namespace lion {
 
 StarProtocol::StarProtocol(Cluster* cluster, MetricsCollector* metrics,
@@ -101,5 +103,16 @@ void StarProtocol::RunOnSuperNode(Item item) {
             });
       });
 }
+
+
+// Self-registration: resolving "Star" through ProtocolRegistry needs no
+// harness edits (see harness/registry.h).
+namespace {
+const ProtocolRegistrar kRegisterStarProtocol(
+    "Star", ExecutionMode::kBatch,
+    [](const ProtocolContext& ctx) -> std::unique_ptr<Protocol> {
+      return std::make_unique<StarProtocol>(ctx.cluster, ctx.metrics);
+    });
+}  // namespace
 
 }  // namespace lion

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "harness/registry.h"
+
 namespace lion {
 
 TwoPcProtocol::TwoPcProtocol(Cluster* cluster, MetricsCollector* metrics)
@@ -35,5 +37,16 @@ void TwoPcProtocol::Submit(TxnPtr txn, TxnDoneFn done) {
     }
   });
 }
+
+
+// Self-registration: resolving "2PC" through ProtocolRegistry needs no
+// harness edits (see harness/registry.h).
+namespace {
+const ProtocolRegistrar kRegisterTwoPcProtocol(
+    "2PC", ExecutionMode::kStandard,
+    [](const ProtocolContext& ctx) -> std::unique_ptr<Protocol> {
+      return std::make_unique<TwoPcProtocol>(ctx.cluster, ctx.metrics);
+    });
+}  // namespace
 
 }  // namespace lion

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -11,7 +12,8 @@ Simulator::Simulator(uint64_t seed)
 void Simulator::Push(SimTime at, bool weak, EventFn fn) {
   if (at < now_) at = now_;
   if (!weak) strong_pending_++;
-  queue_.push(Event{at, next_seq_++, weak, std::move(fn)});
+  queue_.push_back(Event{at, next_seq_++, weak, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), EventLater{});
 }
 
 void Simulator::Schedule(SimTime delay, EventFn fn) {
@@ -29,10 +31,9 @@ void Simulator::ScheduleWeak(SimTime delay, EventFn fn) {
 }
 
 void Simulator::PopAndRun() {
-  // priority_queue::top() is const; move out via const_cast on the handler
-  // only, which is safe because we pop immediately after.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  std::pop_heap(queue_.begin(), queue_.end(), EventLater{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
   assert(ev.at >= now_);
   now_ = ev.at;
   processed_++;
@@ -41,7 +42,7 @@ void Simulator::PopAndRun() {
 }
 
 void Simulator::RunUntil(SimTime until) {
-  while (!queue_.empty() && queue_.top().at <= until) {
+  while (!queue_.empty() && queue_.front().at <= until) {
     PopAndRun();
   }
   if (now_ < until) now_ = until;

@@ -2,10 +2,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "common/move_fn.h"
 #include "common/rng.h"
 #include "common/types.h"
 
@@ -23,7 +22,9 @@ namespace lion {
 /// stops once only weak events remain.
 class Simulator {
  public:
-  using EventFn = std::function<void()>;
+  /// Events are move-only callables, so closures may own their transaction
+  /// (or any other unique_ptr state) outright — no copyable-closure shims.
+  using EventFn = MoveFn<void()>;
 
   explicit Simulator(uint64_t seed = 1);
 
@@ -78,7 +79,10 @@ class Simulator {
   uint64_t next_seq_;
   uint64_t processed_;
   uint64_t strong_pending_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  // Explicit binary heap (push_heap/pop_heap) rather than priority_queue:
+  // the popped event must be *moved* out before running, which
+  // priority_queue's const top() cannot express for move-only handlers.
+  std::vector<Event> queue_;
   Rng rng_;
 };
 

@@ -1,5 +1,7 @@
 #include "workload/dynamic.h"
 
+#include "harness/registry.h"
+
 namespace lion {
 
 DynamicYcsbWorkload::DynamicYcsbWorkload(const ClusterConfig& cluster,
@@ -73,5 +75,25 @@ std::vector<DynamicPhase> DynamicYcsbWorkload::HotspotPosition(
   phases.push_back(d);
   return phases;
 }
+
+
+namespace {
+const WorkloadRegistrar kRegisterHotspotInterval(
+    "ycsb-hotspot-interval",
+    [](const WorkloadContext& ctx) -> std::unique_ptr<WorkloadGenerator> {
+      return std::make_unique<DynamicYcsbWorkload>(
+          ctx.config.cluster,
+          DynamicYcsbWorkload::HotspotInterval(ctx.config.cluster,
+                                               ctx.config.dynamic_period));
+    });
+const WorkloadRegistrar kRegisterHotspotPosition(
+    "ycsb-hotspot-position",
+    [](const WorkloadContext& ctx) -> std::unique_ptr<WorkloadGenerator> {
+      return std::make_unique<DynamicYcsbWorkload>(
+          ctx.config.cluster,
+          DynamicYcsbWorkload::HotspotPosition(ctx.config.cluster,
+                                               ctx.config.dynamic_period));
+    });
+}  // namespace
 
 }  // namespace lion

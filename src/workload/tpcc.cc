@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "harness/registry.h"
+
 namespace lion {
 
 TpccWorkload::TpccWorkload(const ClusterConfig& cluster, const TpccConfig& config)
@@ -208,5 +210,18 @@ TxnPtr TpccWorkload::StockLevelTxn(TxnId id, SimTime now, Rng* rng) {
   for (uint64_t item : items) add(w, MakeKey(kStock, item));
   return txn;
 }
+
+
+namespace {
+const WorkloadRegistrar kRegisterTpcc(
+    "tpcc", [](const WorkloadContext& ctx) -> std::unique_ptr<WorkloadGenerator> {
+      auto workload =
+          std::make_unique<TpccWorkload>(ctx.config.cluster, ctx.config.tpcc);
+      // Preload warehouse/district/customer/item/stock rows so reads observe
+      // real versions; the factory runs against the live cluster.
+      workload->Load(ctx.cluster);
+      return workload;
+    });
+}  // namespace
 
 }  // namespace lion

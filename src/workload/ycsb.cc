@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "harness/registry.h"
+
 namespace lion {
 
 YcsbWorkload::YcsbWorkload(const ClusterConfig& cluster, const YcsbConfig& config)
@@ -89,5 +91,13 @@ TxnPtr YcsbWorkload::Next(TxnId id, SimTime now, Rng* rng) {
   }
   return txn;
 }
+
+
+namespace {
+const WorkloadRegistrar kRegisterYcsb(
+    "ycsb", [](const WorkloadContext& ctx) -> std::unique_ptr<WorkloadGenerator> {
+      return std::make_unique<YcsbWorkload>(ctx.config.cluster, ctx.config.ycsb);
+    });
+}  // namespace
 
 }  // namespace lion

@@ -1,6 +1,6 @@
-// Tests for the experiment harness: factory coverage, end-to-end runs for
-// every protocol name, and cross-protocol comparative sanity checks that
-// mirror the paper's headline claims at miniature scale.
+// Tests for the experiment harness: registry-driven assembly, end-to-end
+// runs for every registered protocol name, and cross-protocol comparative
+// sanity checks that mirror the paper's headline claims at miniature scale.
 #include <gtest/gtest.h>
 
 #include "harness/experiment.h"
@@ -26,15 +26,11 @@ ExperimentConfig BaseConfig() {
   return cfg;
 }
 
-TEST(HarnessTest, IsBatchProtocolClassification) {
-  for (const char* p : {"Star", "Calvin", "Hermes", "Aria", "Lotus",
-                        "Lion(RB)", "Lion(B)"}) {
-    EXPECT_TRUE(IsBatchProtocol(p)) << p;
-  }
-  for (const char* p : {"2PC", "Leap", "Clay", "Lion", "Lion(S)", "Lion(R)",
-                        "Lion(SW)", "Lion(RW)"}) {
-    EXPECT_FALSE(IsBatchProtocol(p)) << p;
-  }
+ExperimentResult RunConfig(const ExperimentConfig& cfg) {
+  ExperimentResult res;
+  Status status = ExperimentBuilder(cfg).Run(&res);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return res;
 }
 
 class AllProtocolsTest : public ::testing::TestWithParam<const char*> {};
@@ -42,7 +38,7 @@ class AllProtocolsTest : public ::testing::TestWithParam<const char*> {};
 TEST_P(AllProtocolsTest, CommitsTransactionsOnYcsb) {
   ExperimentConfig cfg = BaseConfig();
   cfg.protocol = GetParam();
-  ExperimentResult res = RunExperiment(cfg);
+  ExperimentResult res = RunConfig(cfg);
   EXPECT_GT(res.committed, 100u) << cfg.protocol;
   EXPECT_GT(res.throughput, 0.0);
   EXPECT_GT(res.p50_us, 0.0);
@@ -64,7 +60,7 @@ TEST_P(TpccProtocolsTest, CommitsTransactionsOnTpcc) {
   cfg.protocol = GetParam();
   cfg.workload = "tpcc";
   cfg.tpcc.remote_ratio = 0.3;
-  ExperimentResult res = RunExperiment(cfg);
+  ExperimentResult res = RunConfig(cfg);
   EXPECT_GT(res.committed, 50u) << cfg.protocol;
 }
 
@@ -78,26 +74,92 @@ TEST(HarnessTest, DynamicWorkloadsRun) {
     cfg.protocol = "Lion";
     cfg.workload = wl;
     cfg.dynamic_period = 500 * kMillisecond;
-    ExperimentResult res = RunExperiment(cfg);
+    ExperimentResult res = RunConfig(cfg);
     EXPECT_GT(res.committed, 100u) << wl;
   }
 }
 
-TEST(HarnessTest, UnknownProtocolReturnsNull) {
+TEST(HarnessTest, UnknownProtocolIsBuildError) {
   ExperimentConfig cfg = BaseConfig();
-  Simulator sim;
-  Cluster cluster(&sim, cfg.cluster);
-  MetricsCollector metrics;
   cfg.protocol = "NoSuchProtocol";
-  std::unique_ptr<PredictorInterface> pred;
-  EXPECT_EQ(MakeProtocol(cfg, &cluster, &metrics, &pred), nullptr);
+  ExperimentResult res;
+  Status status = ExperimentBuilder(cfg).Run(&res);
+  EXPECT_TRUE(status.IsNotFound()) << status.ToString();
+  // The error lists the known names so a typo is self-diagnosing.
+  EXPECT_NE(status.message().find("Lion"), std::string::npos);
+}
+
+TEST(HarnessTest, UnknownWorkloadIsBuildError) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.workload = "NoSuchWorkload";
+  std::unique_ptr<Experiment> ex;
+  Status status = ExperimentBuilder(cfg).Build(&ex);
+  EXPECT_TRUE(status.IsNotFound()) << status.ToString();
+}
+
+TEST(HarnessTest, InvalidTimingIsBuildError) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.duration = 0;
+  std::unique_ptr<Experiment> ex;
+  EXPECT_TRUE(ExperimentBuilder(cfg).Build(&ex).IsInvalidArgument());
+  cfg = BaseConfig();
+  cfg.concurrency = -1;
+  EXPECT_TRUE(ExperimentBuilder(cfg).Build(&ex).IsInvalidArgument());
+  cfg = BaseConfig();
+  cfg.cluster.num_nodes = 0;
+  EXPECT_TRUE(ExperimentBuilder(cfg).Build(&ex).IsInvalidArgument());
+}
+
+TEST(HarnessTest, BuilderExposesOwnedComponents) {
+  ExperimentConfig cfg = BaseConfig();
+  std::unique_ptr<Experiment> ex;
+  ASSERT_TRUE(ExperimentBuilder(cfg).Build(&ex).ok());
+  ASSERT_NE(ex->protocol(), nullptr);
+  ASSERT_NE(ex->workload(), nullptr);
+  ASSERT_NE(ex->cluster(), nullptr);
+  EXPECT_EQ(ex->protocol()->name(), "Lion");
+  EXPECT_EQ(ex->workload()->name(), "ycsb");
+  // Standard protocol: closed-loop window defaults to nodes x workers.
+  EXPECT_EQ(ex->concurrency(),
+            cfg.cluster.num_nodes * cfg.cluster.workers_per_node);
+}
+
+TEST(HarnessTest, BatchProtocolGetsWideDefaultWindow) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.protocol = "Calvin";
+  std::unique_ptr<Experiment> ex;
+  ASSERT_TRUE(ExperimentBuilder(cfg).Build(&ex).ok());
+  EXPECT_EQ(ex->concurrency(), 4000);
+}
+
+TEST(HarnessTest, StopFlushesBufferedBatchTransactions) {
+  for (const char* protocol : {"Calvin", "Aria", "Lotus", "Lion(B)"}) {
+    ExperimentConfig cfg = BaseConfig();
+    cfg.protocol = protocol;
+    std::unique_ptr<Experiment> ex;
+    ASSERT_TRUE(ExperimentBuilder(cfg).Build(&ex).ok());
+    ex->cluster()->Start();
+    ex->protocol()->Start();
+    // Submit mid-epoch, then Stop before any boundary: the buffered
+    // transactions must still execute and complete — including ones that
+    // abort after the stop-time flush and get retried.
+    int done = 0;
+    for (TxnId id = 1; id <= 5; ++id) {
+      TxnPtr txn = ex->workload()->Next(id, ex->sim()->Now(),
+                                        &ex->sim()->rng());
+      ex->protocol()->Submit(std::move(txn), [&done](TxnPtr) { done++; });
+    }
+    ex->protocol()->Stop();
+    ex->sim()->RunUntilIdle();
+    EXPECT_EQ(done, 5) << protocol;
+  }
 }
 
 TEST(HarnessTest, DeterministicGivenSeed) {
   ExperimentConfig cfg = BaseConfig();
   cfg.protocol = "2PC";
-  ExperimentResult a = RunExperiment(cfg);
-  ExperimentResult b = RunExperiment(cfg);
+  ExperimentResult a = RunConfig(cfg);
+  ExperimentResult b = RunConfig(cfg);
   EXPECT_EQ(a.committed, b.committed);
   EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
 }
@@ -105,10 +167,51 @@ TEST(HarnessTest, DeterministicGivenSeed) {
 TEST(HarnessTest, SeedChangesRun) {
   ExperimentConfig cfg = BaseConfig();
   cfg.protocol = "2PC";
-  ExperimentResult a = RunExperiment(cfg);
+  ExperimentResult a = RunConfig(cfg);
   cfg.seed = 999;
-  ExperimentResult b = RunExperiment(cfg);
+  ExperimentResult b = RunConfig(cfg);
   EXPECT_NE(a.committed, b.committed);
+}
+
+TEST(HarnessTest, WindowCallbacksFireLive) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.protocol = "2PC";
+  std::vector<WindowStats> seen;
+  ExperimentResult res;
+  Status status = ExperimentBuilder(cfg)
+                      .OnWindow([&seen](const WindowStats& w) {
+                        seen.push_back(w);
+                      })
+                      .Run(&res);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  // 1.5 s at 100 ms windows: every closed window reported, in order.
+  ASSERT_GE(seen.size(), 10u);
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].index, i);
+    EXPECT_EQ(seen[i].end_time,
+              static_cast<SimTime>(i + 1) * res.window);
+  }
+  // The live per-window series matches the post-run result series.
+  for (size_t i = 0; i < seen.size() && i < res.window_throughput.size();
+       ++i) {
+    EXPECT_DOUBLE_EQ(seen[i].throughput, res.window_throughput[i]) << i;
+  }
+}
+
+TEST(HarnessTest, ResultJsonContainsHeadlineFields) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.protocol = "2PC";
+  ExperimentResult res = RunConfig(cfg);
+  std::string json = res.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* key :
+       {"\"protocol\":\"2PC\"", "\"workload\":\"ycsb\"",
+        "\"throughput_txn_s\":", "\"committed\":", "\"p50_us\":",
+        "\"breakdown_us\":", "\"window_throughput\":[",
+        "\"window_bytes_per_txn\":["}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
 }
 
 // --- Comparative sanity: miniature versions of the paper's claims ---------------
@@ -119,9 +222,9 @@ TEST(ComparativeTest, LionBeats2pcOnCrossPartitionWorkload) {
   cfg.duration = 2 * kSecond;
 
   cfg.protocol = "2PC";
-  double tput_2pc = RunExperiment(cfg).throughput;
+  double tput_2pc = RunConfig(cfg).throughput;
   cfg.protocol = "Lion(R)";
-  double tput_lion = RunExperiment(cfg).throughput;
+  double tput_lion = RunConfig(cfg).throughput;
   EXPECT_GT(tput_lion, tput_2pc * 1.2);
 }
 
@@ -130,7 +233,7 @@ TEST(ComparativeTest, LionConvertsMostTxnsToSingleNode) {
   cfg.ycsb.cross_ratio = 1.0;
   cfg.protocol = "Lion(R)";
   cfg.duration = 2 * kSecond;
-  ExperimentResult res = RunExperiment(cfg);
+  ExperimentResult res = RunConfig(cfg);
   EXPECT_GT(res.single_node + res.remastered, res.distributed);
 }
 
@@ -140,15 +243,15 @@ TEST(ComparativeTest, CrossRatioHurts2pcMoreThanLion) {
 
   cfg.protocol = "2PC";
   cfg.ycsb.cross_ratio = 0.0;
-  double tput_2pc_0 = RunExperiment(cfg).throughput;
+  double tput_2pc_0 = RunConfig(cfg).throughput;
   cfg.ycsb.cross_ratio = 1.0;
-  double tput_2pc_100 = RunExperiment(cfg).throughput;
+  double tput_2pc_100 = RunConfig(cfg).throughput;
 
   cfg.protocol = "Lion(R)";
   cfg.ycsb.cross_ratio = 0.0;
-  double tput_lion_0 = RunExperiment(cfg).throughput;
+  double tput_lion_0 = RunConfig(cfg).throughput;
   cfg.ycsb.cross_ratio = 1.0;
-  double tput_lion_100 = RunExperiment(cfg).throughput;
+  double tput_lion_100 = RunConfig(cfg).throughput;
 
   double drop_2pc = tput_2pc_100 / tput_2pc_0;
   double drop_lion = tput_lion_100 / tput_lion_0;
@@ -159,10 +262,10 @@ TEST(ComparativeTest, NetworkBytesTrackedPerTxn) {
   ExperimentConfig cfg = BaseConfig();
   cfg.protocol = "2PC";
   cfg.ycsb.cross_ratio = 1.0;
-  ExperimentResult res = RunExperiment(cfg);
+  ExperimentResult res = RunConfig(cfg);
   EXPECT_GT(res.bytes_per_txn, 100.0);  // prepare/commit rounds cost bytes
   cfg.ycsb.cross_ratio = 0.0;
-  ExperimentResult local = RunExperiment(cfg);
+  ExperimentResult local = RunConfig(cfg);
   EXPECT_LT(local.bytes_per_txn, res.bytes_per_txn);
 }
 

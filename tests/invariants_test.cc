@@ -4,6 +4,7 @@
 
 #include "harness/driver.h"
 #include "harness/experiment.h"
+#include "harness/registry.h"
 
 namespace lion {
 namespace {
@@ -47,9 +48,10 @@ TEST_P(PlacementInvariantsTest, PlacementStaysSane) {
   Simulator sim(cfg.seed);
   Cluster cluster(&sim, cfg.cluster);
   MetricsCollector metrics;
-  std::unique_ptr<PredictorInterface> predictor;
-  auto protocol = MakeProtocol(cfg, &cluster, &metrics, &predictor);
-  ASSERT_NE(protocol, nullptr);
+  std::unique_ptr<Protocol> protocol;
+  Status status = ProtocolRegistry::Global().Create(
+      cfg.protocol, ProtocolContext{cfg, &cluster, &metrics}, &protocol);
+  ASSERT_TRUE(status.ok()) << status.ToString();
   YcsbWorkload workload(cfg.cluster, cfg.ycsb);
 
   cluster.Start();
@@ -114,9 +116,10 @@ TEST_P(ReplicationConvergenceTest, SecondariesConverge) {
   Simulator sim(3);
   Cluster cluster(&sim, ccfg);
   MetricsCollector metrics;
-  std::unique_ptr<PredictorInterface> predictor;
-  auto protocol = MakeProtocol(cfg, &cluster, &metrics, &predictor);
-  ASSERT_NE(protocol, nullptr);
+  std::unique_ptr<Protocol> protocol;
+  Status status = ProtocolRegistry::Global().Create(
+      cfg.protocol, ProtocolContext{cfg, &cluster, &metrics}, &protocol);
+  ASSERT_TRUE(status.ok()) << status.ToString();
   YcsbWorkload workload(ccfg, cfg.ycsb);
 
   cluster.Start();
@@ -167,8 +170,11 @@ TEST(DurabilityTest, CommittedWritesVisible) {
   ExperimentConfig cfg;
   cfg.protocol = "2PC";
   cfg.cluster = ccfg;
-  std::unique_ptr<PredictorInterface> predictor;
-  auto protocol = MakeProtocol(cfg, &cluster, &metrics, &predictor);
+  std::unique_ptr<Protocol> protocol;
+  ASSERT_TRUE(ProtocolRegistry::Global()
+                  .Create(cfg.protocol,
+                          ProtocolContext{cfg, &cluster, &metrics}, &protocol)
+                  .ok());
   cluster.Start();
   protocol->Start();
 
