@@ -19,60 +19,39 @@ ExperimentConfig Base() {
 }
 
 const double kWmOverWr[] = {1.0, 2.0, 5.0, 10.0, 50.0};
-
-void CostWeightRatio(::benchmark::State& state) {
-  ExperimentConfig cfg = Base();
-  cfg.lion.cost.wr = 1.0;
-  cfg.lion.cost.wm = kWmOverWr[state.range(0)];
-  cfg.lion.planner.plan.cost = cfg.lion.cost;
-  bench::RunAndReport(cfg, state);
-}
-
 const int kPlannerMs[] = {100, 250, 500, 1000, 2000};
-
-void PlannerInterval(::benchmark::State& state) {
-  ExperimentConfig cfg = Base();
-  cfg.lion.planner.interval = kPlannerMs[state.range(0)] * kMillisecond;
-  bench::RunAndReport(cfg, state);
-}
-
 const int kMaxReplicas[] = {2, 3, 4};
 
-void ReplicaBudget(::benchmark::State& state) {
-  ExperimentConfig cfg = Base();
-  cfg.cluster.max_replicas = kMaxReplicas[state.range(0)];
-  bench::RunAndReport(cfg, state);
+std::vector<bench::SweepSpec> BuildSweep() {
+  std::vector<bench::SweepSpec> specs;
+  for (double wm : kWmOverWr) {
+    ExperimentConfig cfg = Base();
+    cfg.lion.cost.wr = 1.0;
+    cfg.lion.cost.wm = wm;
+    cfg.lion.planner.plan.cost = cfg.lion.cost;
+    specs.push_back(bench::SweepSpec{
+        "Ablation/wm_over_wr=" + std::to_string(static_cast<int>(wm)), cfg,
+        nullptr});
+  }
+  for (int ms : kPlannerMs) {
+    ExperimentConfig cfg = Base();
+    cfg.lion.planner.interval = ms * kMillisecond;
+    specs.push_back(bench::SweepSpec{
+        "Ablation/planner_ms=" + std::to_string(ms), cfg, nullptr});
+  }
+  for (int replicas : kMaxReplicas) {
+    ExperimentConfig cfg = Base();
+    cfg.cluster.max_replicas = replicas;
+    specs.push_back(bench::SweepSpec{
+        "Ablation/max_replicas=" + std::to_string(replicas), cfg, nullptr});
+  }
+  return specs;
 }
 
 }  // namespace
 }  // namespace lion
 
 int main(int argc, char** argv) {
-  for (int i = 0; i < 5; ++i) {
-    std::string name =
-        "Ablation/wm_over_wr=" + std::to_string((int)lion::kWmOverWr[i]);
-    ::benchmark::RegisterBenchmark(name.c_str(), lion::CostWeightRatio)
-        ->Args({i})
-        ->Iterations(1)
-        ->Unit(::benchmark::kMillisecond);
-  }
-  for (int i = 0; i < 5; ++i) {
-    std::string name =
-        "Ablation/planner_ms=" + std::to_string(lion::kPlannerMs[i]);
-    ::benchmark::RegisterBenchmark(name.c_str(), lion::PlannerInterval)
-        ->Args({i})
-        ->Iterations(1)
-        ->Unit(::benchmark::kMillisecond);
-  }
-  for (int i = 0; i < 3; ++i) {
-    std::string name =
-        "Ablation/max_replicas=" + std::to_string(lion::kMaxReplicas[i]);
-    ::benchmark::RegisterBenchmark(name.c_str(), lion::ReplicaBudget)
-        ->Args({i})
-        ->Iterations(1)
-        ->Unit(::benchmark::kMillisecond);
-  }
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return lion::bench::SweepMain(argc, argv, "Design-choice ablations",
+                                lion::BuildSweep());
 }

@@ -1,20 +1,31 @@
-// Shared helpers for the per-figure benchmark binaries.
+// Shared entry point for the per-figure benchmark binaries.
 //
-// Each binary registers one google-benchmark entry per (protocol, parameter)
-// sweep point; the entry runs a full simulated experiment and reports the
-// paper's metric as counters. Time-series figures additionally print their
-// series as "FigureX: ..." rows.
+// Each binary declares its sweep as a vector of labeled grid points
+// (SweepSpec) and delegates to bench::SweepMain, which runs the grid
+// through SweepRunner (multi-threaded, deterministic merge), prints one
+// summary line per point in declaration order, then runs each point's
+// optional `on_done` hook (time-series printing) in the same order.
+//
+// Flags accepted by every figure binary:
+//   --filter=SUBSTR   run only points whose name contains SUBSTR
+//   --threads=N       sweep pool size (default: hardware_concurrency)
+//   --json=PATH       also write the merged sweep JSON document to PATH
+//   --list            print point names and exit
 //
 // Environment: LION_BENCH_FAST=1 halves warmup/duration for smoke runs.
 #pragma once
 
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "harness/experiment.h"
+#include "harness/registry.h"
+#include "harness/sweep_runner.h"
 
 namespace lion {
 namespace bench {
@@ -51,28 +62,49 @@ inline ExperimentConfig EvalConfig(const std::string& protocol, int nodes = 4) {
   return cfg;
 }
 
-/// Runs the experiment through the builder and exports the headline
-/// counters. Configuration problems (unknown protocol name etc.) surface as
-/// a skipped benchmark, not a crash.
-inline ExperimentResult RunAndReport(const ExperimentConfig& cfg,
-                                     ::benchmark::State& state) {
-  ExperimentResult res;
-  for (auto _ : state) {
-    Status status = ExperimentBuilder(cfg).Run(&res);
-    if (!status.ok()) {
-      state.SkipWithError(status.ToString().c_str());
-      return res;
-    }
+/// A protocol as it appears in a figure: the paper's label plus the factory
+/// name it resolves to in ProtocolRegistry (usually identical).
+struct ProtocolEntry {
+  std::string label;
+  std::string factory;
+};
+
+/// The paper's protocol lineup for one execution mode, enumerated from the
+/// registry rather than hard-coded: every registered protocol of that mode
+/// joins the figure automatically. Parenthesized names ("Lion(R)",
+/// "Lion(SW)", ...) are the Fig. 6 / Table II ablation variants and are
+/// excluded here — except "Lion(B)", the full batch system, which reports
+/// under the paper's plain "Lion" label in the batch figures.
+inline std::vector<ProtocolEntry> ProtocolsByMode(ExecutionMode mode) {
+  std::vector<ProtocolEntry> entries;
+  for (const std::string& name :
+       ProtocolRegistry::Global().NamesByMode(mode)) {
+    if (name.find('(') != std::string::npos) continue;
+    entries.push_back(ProtocolEntry{name, name});
   }
-  state.counters["ktxn_s"] = res.throughput / 1000.0;
-  state.counters["p50_us"] = res.p50_us;
-  state.counters["p95_us"] = res.p95_us;
-  state.counters["dist_pct"] =
-      res.committed > 0
-          ? 100.0 * static_cast<double>(res.distributed) / res.committed
-          : 0.0;
-  return res;
+  if (mode == ExecutionMode::kBatch &&
+      ProtocolRegistry::Global().Contains("Lion(B)")) {
+    entries.push_back(ProtocolEntry{"Lion", "Lion(B)"});
+  }
+  return entries;
 }
+
+inline std::vector<ProtocolEntry> StandardProtocols() {
+  return ProtocolsByMode(ExecutionMode::kStandard);
+}
+
+inline std::vector<ProtocolEntry> BatchProtocols() {
+  return ProtocolsByMode(ExecutionMode::kBatch);
+}
+
+/// One labeled grid point plus an optional ordered post-run hook (series
+/// printing and other per-point reporting run after the whole sweep, in
+/// declaration order, so multi-threaded output stays deterministic).
+struct SweepSpec {
+  std::string name;
+  ExperimentConfig config;
+  std::function<void(const SweepOutcome&)> on_done;
+};
 
 /// Prints one paper-style series (time on the x-axis).
 inline void PrintSeries(const std::string& tag, const ExperimentResult& res) {
@@ -83,6 +115,107 @@ inline void PrintSeries(const std::string& tag, const ExperimentResult& res) {
   std::printf("\n%s ktxn/s", tag.c_str());
   for (double v : res.window_throughput) std::printf(" %.1f", v / 1000.0);
   std::printf("\n");
+}
+
+/// Shared main(): flag parsing, filtered SweepRunner execution, ordered
+/// reporting, optional merged-JSON emission. Returns the process exit code
+/// (1 if any point failed to build/run).
+inline int SweepMain(int argc, char** argv, const char* title,
+                     std::vector<SweepSpec> specs) {
+  std::string filter;
+  std::string json_path;
+  int threads = 0;  // 0 = hardware_concurrency
+  bool list_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--filter=", 9) == 0) {
+      filter = a + 9;
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      threads = std::atoi(a + 10);
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      json_path = a + 7;
+    } else if (std::strcmp(a, "--list") == 0) {
+      list_only = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag: %s\n"
+                   "usage: %s [--filter=SUBSTR] [--threads=N] [--json=PATH] "
+                   "[--list]\n",
+                   a, argv[0]);
+      return 1;
+    }
+  }
+
+  if (!filter.empty()) {
+    std::vector<SweepSpec> kept;
+    for (SweepSpec& s : specs) {
+      if (s.name.find(filter) != std::string::npos) {
+        kept.push_back(std::move(s));
+      }
+    }
+    specs = std::move(kept);
+  }
+
+  if (list_only) {
+    for (const SweepSpec& s : specs) std::printf("%s\n", s.name.c_str());
+    return 0;
+  }
+  if (specs.empty()) {
+    std::fprintf(stderr, "no sweep points match --filter=%s\n",
+                 filter.c_str());
+    return 1;
+  }
+
+  std::printf("%s — %zu points%s\n", title, specs.size(),
+              FastMode() ? " (fast mode)" : "");
+
+  SweepOptions options;
+  options.threads = threads;
+  options.on_progress = [](size_t done, size_t total, const SweepOutcome& o) {
+    std::fprintf(stderr, "[%zu/%zu] %s %s\n", done, total, o.name.c_str(),
+                 o.status.ok() ? "done" : o.status.ToString().c_str());
+  };
+  SweepRunner runner(options);
+  for (const SweepSpec& s : specs) runner.Add(s.name, s.config);
+  std::vector<SweepOutcome> outcomes = runner.Run();
+
+  bool any_failed = false;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const SweepOutcome& o = outcomes[i];
+    if (!o.status.ok()) {
+      any_failed = true;
+      std::printf("%s: %s\n", o.name.c_str(), o.status.ToString().c_str());
+      continue;
+    }
+    const ExperimentResult& r = o.result;
+    double dist_pct =
+        r.committed > 0
+            ? 100.0 * static_cast<double>(r.distributed) / r.committed
+            : 0.0;
+    std::printf("%s: ktxn/s=%.1f p50_us=%.0f p95_us=%.0f dist_pct=%.1f\n",
+                o.name.c_str(), r.throughput / 1000.0, r.p50_us, r.p95_us,
+                dist_pct);
+  }
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (specs[i].on_done && outcomes[i].status.ok()) {
+      specs[i].on_done(outcomes[i]);
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::string json = SweepRunner::MergeJson(outcomes);
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return any_failed ? 1 : 0;
 }
 
 }  // namespace bench

@@ -1,57 +1,42 @@
 // Figure 10: dynamic workloads with changing hotspots, batch protocols.
 // (a) varying hotspot interval; (b) varying hotspot position (A/B/C/D).
+//
+// Protocols are enumerated from ProtocolRegistry (batch mode).
 #include "bench_common.h"
 
 namespace lion {
 namespace {
 
-struct Entry {
-  const char* label;
-  const char* factory;
-};
-const Entry kProtocols[] = {
-    {"Calvin", "Calvin"}, {"Star", "Star"},     {"Aria", "Aria"},
-    {"Lotus", "Lotus"},   {"Hermes", "Hermes"}, {"Lion", "Lion(B)"},
-};
-
-void RunScenario(::benchmark::State& state, const char* workload) {
-  ExperimentConfig cfg = bench::EvalConfig(kProtocols[state.range(0)].factory);
+bench::SweepSpec MakeSpec(const bench::ProtocolEntry& p, const char* fig,
+                          const std::string& workload) {
+  ExperimentConfig cfg = bench::EvalConfig(p.factory);
   cfg.workload = workload;
   cfg.dynamic_period = bench::FastMode() ? 1 * kSecond : 2500 * kMillisecond;
   cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
-  int phases = (std::string(workload) == "ycsb-hotspot-interval") ? 3 : 4;
+  int phases = (workload == "ycsb-hotspot-interval") ? 3 : 4;
   cfg.warmup = 0;
   cfg.duration = 2 * phases * cfg.dynamic_period;
-  ExperimentResult res = bench::RunAndReport(cfg, state);
-  std::string tag = std::string("Fig10/") + workload + "/" +
-                    kProtocols[state.range(0)].label + ":";
-  bench::PrintSeries(tag, res);
+  std::string name = std::string(fig) + "/" + p.label;
+  std::string tag = std::string("Fig10/") + workload + "/" + p.label + ":";
+  return bench::SweepSpec{name, cfg, [tag](const SweepOutcome& o) {
+                            bench::PrintSeries(tag, o.result);
+                          }};
 }
 
-void Fig10aInterval(::benchmark::State& state) {
-  RunScenario(state, "ycsb-hotspot-interval");
-}
-void Fig10bPosition(::benchmark::State& state) {
-  RunScenario(state, "ycsb-hotspot-position");
+std::vector<bench::SweepSpec> BuildSweep() {
+  std::vector<bench::SweepSpec> specs;
+  for (const bench::ProtocolEntry& p : bench::BatchProtocols()) {
+    specs.push_back(MakeSpec(p, "Fig10a/interval", "ycsb-hotspot-interval"));
+    specs.push_back(MakeSpec(p, "Fig10b/position", "ycsb-hotspot-position"));
+  }
+  return specs;
 }
 
 }  // namespace
 }  // namespace lion
 
 int main(int argc, char** argv) {
-  for (int p = 0; p < 6; ++p) {
-    std::string name = std::string("Fig10a/interval/") + lion::kProtocols[p].label;
-    ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig10aInterval)
-        ->Args({p})
-        ->Iterations(1)
-        ->Unit(::benchmark::kMillisecond);
-    name = std::string("Fig10b/position/") + lion::kProtocols[p].label;
-    ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig10bPosition)
-        ->Args({p})
-        ->Iterations(1)
-        ->Unit(::benchmark::kMillisecond);
-  }
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return lion::bench::SweepMain(argc, argv,
+                                "Fig10 dynamic hotspots, batch execution",
+                                lion::BuildSweep());
 }

@@ -1,53 +1,47 @@
 // Figure 11: scalability from 4 to 10 executor nodes under 100%
 // cross-partition uniform YCSB. (a) standard approaches; (b) batch-based.
+//
+// Both protocol lists are enumerated from ProtocolRegistry by execution
+// mode (standard -> Fig11a, batch -> Fig11b).
 #include "bench_common.h"
 
 namespace lion {
 namespace {
 
-struct Entry {
-  const char* label;
-  const char* factory;
-  bool batch;
-};
-const Entry kProtocols[] = {
-    {"2PC", "2PC", false},       {"Leap", "Leap", false},
-    {"Clay", "Clay", false},     {"Lion", "Lion", false},
-    {"Calvin", "Calvin", true},  {"Star", "Star", true},
-    {"Aria", "Aria", true},      {"Lotus", "Lotus", true},
-    {"Hermes", "Hermes", true},  {"Lion(B)", "Lion(B)", true},
-};
 const int kNodes[] = {4, 6, 8, 10};
 
-void Fig11(::benchmark::State& state) {
-  const Entry& e = kProtocols[state.range(0)];
-  ExperimentConfig cfg = bench::EvalConfig(e.factory, kNodes[state.range(1)]);
-  cfg.workload = "ycsb";
-  cfg.ycsb.cross_ratio = 1.0;
-  cfg.ycsb.skew_factor = 0.0;
-  cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
-  // Batch protocols need a client window above the worker-capacity ceiling
-  // at 10 nodes (the default 4000 outstanding caps visibility at 400k/s).
-  if (e.batch) cfg.concurrency = 16000;
-  bench::RunAndReport(cfg, state);
+void AddEntries(std::vector<bench::SweepSpec>* specs, const char* fig,
+                const std::vector<bench::ProtocolEntry>& protocols,
+                bool batch) {
+  for (const bench::ProtocolEntry& p : protocols) {
+    for (int nodes : kNodes) {
+      ExperimentConfig cfg = bench::EvalConfig(p.factory, nodes);
+      cfg.workload = "ycsb";
+      cfg.ycsb.cross_ratio = 1.0;
+      cfg.ycsb.skew_factor = 0.0;
+      cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
+      // Batch protocols need a client window above the worker-capacity
+      // ceiling at 10 nodes (the default 4000 outstanding caps visibility
+      // at 400k/s).
+      if (batch) cfg.concurrency = 16000;
+      specs->push_back(bench::SweepSpec{
+          std::string(fig) + "/" + p.label + "/nodes=" + std::to_string(nodes),
+          cfg, nullptr});
+    }
+  }
+}
+
+std::vector<bench::SweepSpec> BuildSweep() {
+  std::vector<bench::SweepSpec> specs;
+  AddEntries(&specs, "Fig11a", bench::StandardProtocols(), /*batch=*/false);
+  AddEntries(&specs, "Fig11b", bench::BatchProtocols(), /*batch=*/true);
+  return specs;
 }
 
 }  // namespace
 }  // namespace lion
 
 int main(int argc, char** argv) {
-  for (int p = 0; p < 10; ++p) {
-    for (int n = 0; n < 4; ++n) {
-      const char* fig = lion::kProtocols[p].batch ? "Fig11b" : "Fig11a";
-      std::string name = std::string(fig) + "/" + lion::kProtocols[p].label +
-                         "/nodes=" + std::to_string(lion::kNodes[n]);
-      ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig11)
-          ->Args({p, n})
-          ->Iterations(1)
-          ->Unit(::benchmark::kMillisecond);
-    }
-  }
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return lion::bench::SweepMain(argc, argv, "Fig11 scalability, 4-10 nodes",
+                                lion::BuildSweep());
 }

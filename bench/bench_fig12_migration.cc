@@ -8,15 +8,8 @@
 namespace lion {
 namespace {
 
-void Fig12(::benchmark::State& state) {
-  ExperimentConfig cfg = bench::EvalConfig("Lion");
-  cfg.workload = "ycsb-hotspot-interval";
-  cfg.dynamic_period = bench::FastMode() ? 1500 * kMillisecond : 3 * kSecond;
-  cfg.warmup = 0;
-  cfg.duration = 3 * cfg.dynamic_period;  // one shift mid-run
-  cfg.predictor.gamma = 0.05;             // eager pre-replication
-  ExperimentResult res = bench::RunAndReport(cfg, state);
-
+void PrintMigrationReport(const SweepOutcome& o) {
+  const ExperimentResult& res = o.result;
   std::printf("Fig12a/throughput: t(s)");
   for (size_t i = 0; i < res.window_throughput.size(); ++i)
     std::printf(" %.1f", ToSeconds(res.window * (i + 1)));
@@ -30,14 +23,22 @@ void Fig12(::benchmark::State& state) {
               res.migrated_bytes / (1024.0 * 1024.0));
 }
 
+std::vector<bench::SweepSpec> BuildSweep() {
+  ExperimentConfig cfg = bench::EvalConfig("Lion");
+  cfg.workload = "ycsb-hotspot-interval";
+  cfg.dynamic_period = bench::FastMode() ? 1500 * kMillisecond : 3 * kSecond;
+  cfg.warmup = 0;
+  cfg.duration = 3 * cfg.dynamic_period;  // one shift mid-run
+  cfg.predictor.gamma = 0.05;             // eager pre-replication
+  return {bench::SweepSpec{"Fig12/Lion/migration-analysis", cfg,
+                           PrintMigrationReport}};
+}
+
 }  // namespace
 }  // namespace lion
 
 int main(int argc, char** argv) {
-  ::benchmark::RegisterBenchmark("Fig12/Lion/migration-analysis", lion::Fig12)
-      ->Iterations(1)
-      ->Unit(::benchmark::kMillisecond);
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return lion::bench::SweepMain(argc, argv,
+                                "Fig12 migration / pre-replication analysis",
+                                lion::BuildSweep());
 }

@@ -3,13 +3,15 @@
 //     predictor on a cycling dynamic workload (throughput over time).
 // (b) Impact of batch optimization: non-batch vs batch Lion as the
 //     remastering duration sweeps over {500..3500} us.
+//
+// Variant pairs are hard-coded: like Fig. 6 this is an ablation (specific
+// Lion variants against each other), not a cross-protocol comparison.
 #include "bench_common.h"
 
 namespace lion {
 namespace {
 
-void Fig13aPredictor(::benchmark::State& state) {
-  bool with_predictor = state.range(0) == 1;
+bench::SweepSpec PredictorSpec(bool with_predictor) {
   ExperimentConfig cfg =
       bench::EvalConfig(with_predictor ? "Lion(RW)" : "Lion(R)");
   cfg.workload = "ycsb-hotspot-interval";
@@ -18,16 +20,17 @@ void Fig13aPredictor(::benchmark::State& state) {
   cfg.duration = 6 * cfg.dynamic_period;  // two full cycles: pattern repeats
   cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
   cfg.predictor.gamma = 0.05;
-  ExperimentResult res = bench::RunAndReport(cfg, state);
-  bench::PrintSeries(with_predictor ? "Fig13a/WithPredictor:"
-                                    : "Fig13a/Baseline:",
-                     res);
+  std::string name =
+      std::string("Fig13a/") + (with_predictor ? "WithPredictor" : "Baseline");
+  std::string tag = name + ":";
+  return bench::SweepSpec{name, cfg, [tag](const SweepOutcome& o) {
+                            bench::PrintSeries(tag, o.result);
+                          }};
 }
 
 const int kRemasterUs[] = {500, 1500, 2000, 3000, 3500};
 
-void Fig13bRemasterSweep(::benchmark::State& state) {
-  bool batch = state.range(0) == 1;
+bench::SweepSpec RemasterSpec(bool batch, int remaster_us) {
   ExperimentConfig cfg = bench::EvalConfig(batch ? "Lion(RB)" : "Lion(R)");
   // A fast-rotating hotspot keeps remastering on the critical path: every
   // rotation triggers a wave of conversions whose cost scales with the
@@ -38,35 +41,30 @@ void Fig13bRemasterSweep(::benchmark::State& state) {
   cfg.warmup = 500 * kMillisecond;
   cfg.duration = 3 * kSecond;
   cfg.lion.planner.interval = 125 * kMillisecond;
-  cfg.cluster.remaster_base_delay = kRemasterUs[state.range(1)] * kMicrosecond;
+  cfg.cluster.remaster_base_delay = remaster_us * kMicrosecond;
   if (batch) cfg.concurrency = 8000;  // avoid the client-window ceiling
-  bench::RunAndReport(cfg, state);
+  return bench::SweepSpec{std::string("Fig13b/") +
+                              (batch ? "Batch" : "NonBatch") +
+                              "/remaster_us=" + std::to_string(remaster_us),
+                          cfg, nullptr};
+}
+
+std::vector<bench::SweepSpec> BuildSweep() {
+  std::vector<bench::SweepSpec> specs;
+  specs.push_back(PredictorSpec(false));
+  specs.push_back(PredictorSpec(true));
+  for (int batch = 0; batch < 2; ++batch) {
+    for (int us : kRemasterUs) {
+      specs.push_back(RemasterSpec(batch == 1, us));
+    }
+  }
+  return specs;
 }
 
 }  // namespace
 }  // namespace lion
 
 int main(int argc, char** argv) {
-  for (int w = 0; w < 2; ++w) {
-    std::string name = std::string("Fig13a/") +
-                       (w == 1 ? "WithPredictor" : "Baseline");
-    ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig13aPredictor)
-        ->Args({w})
-        ->Iterations(1)
-        ->Unit(::benchmark::kMillisecond);
-  }
-  for (int b = 0; b < 2; ++b) {
-    for (int d = 0; d < 5; ++d) {
-      std::string name = std::string("Fig13b/") +
-                         (b == 1 ? "Batch" : "NonBatch") + "/remaster_us=" +
-                         std::to_string(lion::kRemasterUs[d]);
-      ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig13bRemasterSweep)
-          ->Args({b, d})
-          ->Iterations(1)
-          ->Unit(::benchmark::kMillisecond);
-    }
-  }
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return lion::bench::SweepMain(argc, argv, "Fig13 optimization analysis",
+                                lion::BuildSweep());
 }

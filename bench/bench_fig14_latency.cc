@@ -1,33 +1,23 @@
 // Figure 14: latency analysis of the batch/deterministic approaches.
 // (a) 10th/50th/95th percentile latency; (b) normalized runtime breakdown
 // (scheduling / execution / commit / replication / other).
+//
+// Protocols are enumerated from ProtocolRegistry (batch mode). This is a
+// deliberate superset of the paper's lineup: ICDE Fig. 14 plots
+// Calvin/Aria/Lotus/Hermes/Lion only, so registry enumeration adds a Star
+// series (and any future batch protocol) with no paper counterpart —
+// filter with --filter when comparing against the paper.
+#include <algorithm>
+
 #include "bench_common.h"
 
 namespace lion {
 namespace {
 
-struct Entry {
-  const char* label;
-  const char* factory;
-};
-const Entry kProtocols[] = {
-    {"Calvin", "Calvin"}, {"Aria", "Aria"},     {"Lotus", "Lotus"},
-    {"Hermes", "Hermes"}, {"Lion", "Lion(B)"},
-};
-
-void Fig14(::benchmark::State& state) {
-  ExperimentConfig cfg = bench::EvalConfig(kProtocols[state.range(0)].factory);
-  cfg.workload = "ycsb";
-  cfg.ycsb.cross_ratio = 0.5;
-  cfg.ycsb.skew_factor = 0.8;
-  cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
-  // Latency study: short epochs and a moderate client window so queueing
-  // does not drown per-transaction processing latency.
-  cfg.cluster.epoch_interval = 1 * kMillisecond;
-  cfg.concurrency = 512;
-  ExperimentResult res = bench::RunAndReport(cfg, state);
-
-  state.counters["p10_us"] = res.p10_us;
+void PrintLatencyReport(const std::string& label, const SweepOutcome& o) {
+  const ExperimentResult& res = o.result;
+  std::printf("Fig14a/%s: p10_us=%.0f p50_us=%.0f p95_us=%.0f\n",
+              label.c_str(), res.p10_us, res.p50_us, res.p95_us);
 
   // Normalized runtime breakdown (Fig. 14b).
   const PhaseBreakdown& bd = res.breakdown;
@@ -41,23 +31,36 @@ void Fig14(::benchmark::State& state) {
   std::printf(
       "Fig14b/%s breakdown: scheduling=%.2f execution=%.2f commit=%.2f "
       "replication=%.2f other=%.2f\n",
-      kProtocols[state.range(0)].label, bd.scheduling / denom,
-      bd.execution / denom, bd.commit / denom, bd.replication / denom,
-      other / denom);
+      label.c_str(), bd.scheduling / denom, bd.execution / denom,
+      bd.commit / denom, bd.replication / denom, other / denom);
+}
+
+std::vector<bench::SweepSpec> BuildSweep() {
+  std::vector<bench::SweepSpec> specs;
+  for (const bench::ProtocolEntry& p : bench::BatchProtocols()) {
+    ExperimentConfig cfg = bench::EvalConfig(p.factory);
+    cfg.workload = "ycsb";
+    cfg.ycsb.cross_ratio = 0.5;
+    cfg.ycsb.skew_factor = 0.8;
+    cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
+    // Latency study: short epochs and a moderate client window so queueing
+    // does not drown per-transaction processing latency.
+    cfg.cluster.epoch_interval = 1 * kMillisecond;
+    cfg.concurrency = 512;
+    std::string label = p.label;
+    specs.push_back(bench::SweepSpec{std::string("Fig14/") + label, cfg,
+                                     [label](const SweepOutcome& o) {
+                                       PrintLatencyReport(label, o);
+                                     }});
+  }
+  return specs;
 }
 
 }  // namespace
 }  // namespace lion
 
 int main(int argc, char** argv) {
-  for (int p = 0; p < 5; ++p) {
-    std::string name = std::string("Fig14/") + lion::kProtocols[p].label;
-    ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig14)
-        ->Args({p})
-        ->Iterations(1)
-        ->Unit(::benchmark::kMillisecond);
-  }
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return lion::bench::SweepMain(argc, argv,
+                                "Fig14 latency analysis, batch execution",
+                                lion::BuildSweep());
 }

@@ -8,6 +8,10 @@
 //   Lion(RW)  : rearrangement + prediction
 //   Lion(RB)  : rearrangement + batch execution
 //   Lion      : rearrangement + prediction + batch (full system)
+//
+// The variant list is intentionally hard-coded: this IS the ablation
+// figure, so it names the Table II variants explicitly rather than
+// enumerating the registry.
 #include "bench_common.h"
 
 namespace lion {
@@ -24,39 +28,37 @@ const Variant kVariants[] = {
 };
 const int kRatios[] = {0, 20, 50, 80, 100};
 
-void Fig6(::benchmark::State& state) {
-  ExperimentConfig cfg = bench::EvalConfig(kVariants[state.range(0)].factory);
-  cfg.workload = "ycsb";
-  cfg.ycsb.cross_ratio = kRatios[state.range(1)] / 100.0;
-  cfg.ycsb.skew_factor = 0.0;  // uniform workload (Sec. VI-B)
-  // Lightweight protocol-level remastering for the ablation; the explicit
-  // 3000 us delay is the Fig. 7 setting.
-  cfg.cluster.remaster_base_delay = 500 * kMicrosecond;
-  // Batch variants need a client window above the worker-capacity ceiling
-  // (4000 outstanding x 10 ms epochs caps visible throughput at 400k/s).
-  if (ProtocolRegistry::Global().IsBatch(kVariants[state.range(0)].factory)) {
-    cfg.concurrency = 16000;
+std::vector<bench::SweepSpec> BuildSweep() {
+  std::vector<bench::SweepSpec> specs;
+  for (const Variant& v : kVariants) {
+    for (int ratio : kRatios) {
+      ExperimentConfig cfg = bench::EvalConfig(v.factory);
+      cfg.workload = "ycsb";
+      cfg.ycsb.cross_ratio = ratio / 100.0;
+      cfg.ycsb.skew_factor = 0.0;  // uniform workload (Sec. VI-B)
+      // Lightweight protocol-level remastering for the ablation; the
+      // explicit 3000 us delay is the Fig. 7 setting.
+      cfg.cluster.remaster_base_delay = 500 * kMicrosecond;
+      // Batch variants need a client window above the worker-capacity
+      // ceiling (4000 outstanding x 10 ms epochs caps visible throughput
+      // at 400k/s).
+      if (ProtocolRegistry::Global().IsBatch(v.factory)) {
+        cfg.concurrency = 16000;
+      }
+      specs.push_back(bench::SweepSpec{
+          std::string("Fig6/") + v.label + "/cross=" + std::to_string(ratio),
+          cfg, nullptr});
+    }
   }
-  bench::RunAndReport(cfg, state);
+  return specs;
 }
 
 }  // namespace
 }  // namespace lion
 
 int main(int argc, char** argv) {
-  std::printf("Table II variants: see benchmark names below "
-              "(partitioning/prediction/batch per DESIGN.md).\n");
-  for (int v = 0; v < 7; ++v) {
-    for (int r = 0; r < 5; ++r) {
-      std::string name = std::string("Fig6/") + lion::kVariants[v].label +
-                         "/cross=" + std::to_string(lion::kRatios[r]);
-      ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig6)
-          ->Args({v, r})
-          ->Iterations(1)
-          ->Unit(::benchmark::kMillisecond);
-    }
-  }
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return lion::bench::SweepMain(
+      argc, argv,
+      "Fig6 / Table II ablation (partitioning/prediction/batch per DESIGN.md)",
+      lion::BuildSweep());
 }

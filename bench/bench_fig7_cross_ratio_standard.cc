@@ -1,56 +1,48 @@
 // Figure 7: standard-execution protocols under skewed YCSB (a) and TPC-C (b)
 // with the cross-partition ratio swept over {0, 20, 50, 80, 100}%.
 // Setup per Sec. VI-C1: skew_factor 0.8, remastering delay 3000 us.
+//
+// The protocol list comes from ProtocolRegistry (standard mode), so a newly
+// registered standard protocol joins the figure without edits here.
 #include "bench_common.h"
 
 namespace lion {
 namespace {
 
-const char* kProtocols[] = {"2PC", "Leap", "Clay", "Lion"};
 const int kRatios[] = {0, 20, 50, 80, 100};
 
-void Fig7aYcsb(::benchmark::State& state) {
-  ExperimentConfig cfg =
-      bench::EvalConfig(kProtocols[state.range(0)]);
-  cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
-  cfg.workload = "ycsb";
-  cfg.ycsb.cross_ratio = kRatios[state.range(1)] / 100.0;
-  cfg.ycsb.skew_factor = 0.8;
-  bench::RunAndReport(cfg, state);
-}
+std::vector<bench::SweepSpec> BuildSweep() {
+  std::vector<bench::SweepSpec> specs;
+  for (const bench::ProtocolEntry& p : bench::StandardProtocols()) {
+    for (int ratio : kRatios) {
+      ExperimentConfig ycsb = bench::EvalConfig(p.factory);
+      ycsb.cluster.remaster_base_delay = 3000 * kMicrosecond;
+      ycsb.workload = "ycsb";
+      ycsb.ycsb.cross_ratio = ratio / 100.0;
+      ycsb.ycsb.skew_factor = 0.8;
+      specs.push_back(bench::SweepSpec{
+          std::string("Fig7a/") + p.label + "/cross=" + std::to_string(ratio),
+          ycsb, nullptr});
 
-void Fig7bTpcc(::benchmark::State& state) {
-  ExperimentConfig cfg =
-      bench::EvalConfig(kProtocols[state.range(0)]);
-  cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
-  cfg.cluster.partitions_per_node = 4;  // warehouses per node (scaled)
-  cfg.workload = "tpcc";
-  cfg.tpcc.remote_ratio = kRatios[state.range(1)] / 100.0;
-  cfg.tpcc.skew_factor = 0.8;
-  bench::RunAndReport(cfg, state);
+      ExperimentConfig tpcc = bench::EvalConfig(p.factory);
+      tpcc.cluster.remaster_base_delay = 3000 * kMicrosecond;
+      tpcc.cluster.partitions_per_node = 4;  // warehouses per node (scaled)
+      tpcc.workload = "tpcc";
+      tpcc.tpcc.remote_ratio = ratio / 100.0;
+      tpcc.tpcc.skew_factor = 0.8;
+      specs.push_back(bench::SweepSpec{
+          std::string("Fig7b/") + p.label + "/cross=" + std::to_string(ratio),
+          tpcc, nullptr});
+    }
+  }
+  return specs;
 }
 
 }  // namespace
 }  // namespace lion
 
 int main(int argc, char** argv) {
-  for (int p = 0; p < 4; ++p) {
-    for (int r = 0; r < 5; ++r) {
-      std::string name = std::string("Fig7a/") + lion::kProtocols[p] + "/cross=" +
-                         std::to_string(lion::kRatios[r]);
-      ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig7aYcsb)
-          ->Args({p, r})
-          ->Iterations(1)
-          ->Unit(::benchmark::kMillisecond);
-      name = std::string("Fig7b/") + lion::kProtocols[p] + "/cross=" +
-             std::to_string(lion::kRatios[r]);
-      ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig7bTpcc)
-          ->Args({p, r})
-          ->Iterations(1)
-          ->Unit(::benchmark::kMillisecond);
-    }
-  }
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return lion::bench::SweepMain(
+      argc, argv, "Fig7 cross-partition ratio, standard execution",
+      lion::BuildSweep());
 }

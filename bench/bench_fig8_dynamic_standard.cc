@@ -1,52 +1,44 @@
 // Figure 8: dynamic workloads with changing hotspots, standard protocols.
 // (a) varying hotspot interval; (b) varying hotspot position (A/B/C/D).
 // Periods are time-scaled (60 s -> 2.5 s); throughput is printed per window.
+//
+// Protocols are enumerated from ProtocolRegistry (standard mode).
 #include "bench_common.h"
 
 namespace lion {
 namespace {
 
-const char* kProtocols[] = {"2PC", "Leap", "Clay", "Lion"};
-
-void RunScenario(::benchmark::State& state, const char* workload) {
-  ExperimentConfig cfg = bench::EvalConfig(kProtocols[state.range(0)]);
+bench::SweepSpec MakeSpec(const bench::ProtocolEntry& p, const char* fig,
+                          const std::string& workload) {
+  ExperimentConfig cfg = bench::EvalConfig(p.factory);
   cfg.workload = workload;
   cfg.dynamic_period = bench::FastMode() ? 1 * kSecond : 2500 * kMillisecond;
   cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
   // Two full cycles so the predictor sees the pattern repeat.
-  int phases = (std::string(workload) == "ycsb-hotspot-interval") ? 3 : 4;
+  int phases = (workload == "ycsb-hotspot-interval") ? 3 : 4;
   cfg.warmup = 0;
   cfg.duration = 2 * phases * cfg.dynamic_period;
-  ExperimentResult res = bench::RunAndReport(cfg, state);
-  std::string tag = std::string("Fig8/") + workload + "/" +
-                    kProtocols[state.range(0)] + ":";
-  bench::PrintSeries(tag, res);
+  std::string name = std::string(fig) + "/" + p.label;
+  std::string tag = std::string("Fig8/") + workload + "/" + p.label + ":";
+  return bench::SweepSpec{name, cfg, [tag](const SweepOutcome& o) {
+                            bench::PrintSeries(tag, o.result);
+                          }};
 }
 
-void Fig8aInterval(::benchmark::State& state) {
-  RunScenario(state, "ycsb-hotspot-interval");
-}
-void Fig8bPosition(::benchmark::State& state) {
-  RunScenario(state, "ycsb-hotspot-position");
+std::vector<bench::SweepSpec> BuildSweep() {
+  std::vector<bench::SweepSpec> specs;
+  for (const bench::ProtocolEntry& p : bench::StandardProtocols()) {
+    specs.push_back(MakeSpec(p, "Fig8a/interval", "ycsb-hotspot-interval"));
+    specs.push_back(MakeSpec(p, "Fig8b/position", "ycsb-hotspot-position"));
+  }
+  return specs;
 }
 
 }  // namespace
 }  // namespace lion
 
 int main(int argc, char** argv) {
-  for (int p = 0; p < 4; ++p) {
-    std::string name = std::string("Fig8a/interval/") + lion::kProtocols[p];
-    ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig8aInterval)
-        ->Args({p})
-        ->Iterations(1)
-        ->Unit(::benchmark::kMillisecond);
-    name = std::string("Fig8b/position/") + lion::kProtocols[p];
-    ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig8bPosition)
-        ->Args({p})
-        ->Iterations(1)
-        ->Unit(::benchmark::kMillisecond);
-  }
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return lion::bench::SweepMain(argc, argv,
+                                "Fig8 dynamic hotspots, standard execution",
+                                lion::BuildSweep());
 }

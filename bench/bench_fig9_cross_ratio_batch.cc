@@ -1,60 +1,47 @@
 // Figure 9: batch-execution protocols under skewed YCSB (a) and TPC-C (b)
 // with the cross-partition ratio swept over {0, 20, 50, 80, 100}%.
+//
+// Protocols are enumerated from ProtocolRegistry (batch mode); the full
+// system registers as "Lion(B)" and reports under the paper's "Lion" label.
 #include "bench_common.h"
 
 namespace lion {
 namespace {
 
-struct Entry {
-  const char* label;
-  const char* factory;
-};
-const Entry kProtocols[] = {
-    {"Calvin", "Calvin"}, {"Star", "Star"},     {"Aria", "Aria"},
-    {"Lotus", "Lotus"},   {"Hermes", "Hermes"}, {"Lion", "Lion(B)"},
-};
 const int kRatios[] = {0, 20, 50, 80, 100};
 
-void Fig9aYcsb(::benchmark::State& state) {
-  ExperimentConfig cfg = bench::EvalConfig(kProtocols[state.range(0)].factory);
-  cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
-  cfg.workload = "ycsb";
-  cfg.ycsb.cross_ratio = kRatios[state.range(1)] / 100.0;
-  cfg.ycsb.skew_factor = 0.8;
-  bench::RunAndReport(cfg, state);
-}
+std::vector<bench::SweepSpec> BuildSweep() {
+  std::vector<bench::SweepSpec> specs;
+  for (const bench::ProtocolEntry& p : bench::BatchProtocols()) {
+    for (int ratio : kRatios) {
+      ExperimentConfig ycsb = bench::EvalConfig(p.factory);
+      ycsb.cluster.remaster_base_delay = 3000 * kMicrosecond;
+      ycsb.workload = "ycsb";
+      ycsb.ycsb.cross_ratio = ratio / 100.0;
+      ycsb.ycsb.skew_factor = 0.8;
+      specs.push_back(bench::SweepSpec{
+          std::string("Fig9a/") + p.label + "/cross=" + std::to_string(ratio),
+          ycsb, nullptr});
 
-void Fig9bTpcc(::benchmark::State& state) {
-  ExperimentConfig cfg = bench::EvalConfig(kProtocols[state.range(0)].factory);
-  cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
-  cfg.cluster.partitions_per_node = 4;
-  cfg.workload = "tpcc";
-  cfg.tpcc.remote_ratio = kRatios[state.range(1)] / 100.0;
-  cfg.tpcc.skew_factor = 0.8;
-  bench::RunAndReport(cfg, state);
+      ExperimentConfig tpcc = bench::EvalConfig(p.factory);
+      tpcc.cluster.remaster_base_delay = 3000 * kMicrosecond;
+      tpcc.cluster.partitions_per_node = 4;
+      tpcc.workload = "tpcc";
+      tpcc.tpcc.remote_ratio = ratio / 100.0;
+      tpcc.tpcc.skew_factor = 0.8;
+      specs.push_back(bench::SweepSpec{
+          std::string("Fig9b/") + p.label + "/cross=" + std::to_string(ratio),
+          tpcc, nullptr});
+    }
+  }
+  return specs;
 }
 
 }  // namespace
 }  // namespace lion
 
 int main(int argc, char** argv) {
-  for (int p = 0; p < 6; ++p) {
-    for (int r = 0; r < 5; ++r) {
-      std::string name = std::string("Fig9a/") + lion::kProtocols[p].label +
-                         "/cross=" + std::to_string(lion::kRatios[r]);
-      ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig9aYcsb)
-          ->Args({p, r})
-          ->Iterations(1)
-          ->Unit(::benchmark::kMillisecond);
-      name = std::string("Fig9b/") + lion::kProtocols[p].label + "/cross=" +
-             std::to_string(lion::kRatios[r]);
-      ::benchmark::RegisterBenchmark(name.c_str(), lion::Fig9bTpcc)
-          ->Args({p, r})
-          ->Iterations(1)
-          ->Unit(::benchmark::kMillisecond);
-    }
-  }
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return lion::bench::SweepMain(argc, argv,
+                                "Fig9 cross-partition ratio, batch execution",
+                                lion::BuildSweep());
 }

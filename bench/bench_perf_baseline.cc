@@ -1,0 +1,360 @@
+// Tracked performance baseline for the simulator hot path and the sweep
+// harness. Emits BENCH_sim_hotpath.json (repo root by convention) so each
+// PR's numbers land on a trajectory instead of vanishing into a terminal.
+//
+// Three sections:
+//   1. event_churn   — pure Simulator::Schedule/PopAndRun throughput with
+//                      protocol-sized closures (no protocol logic), the
+//                      hot path in isolation;
+//   2. experiments   — full single-threaded runs (YCSB+Lion, TPCC+2PC),
+//                      simulator events/sec including real event bodies;
+//   3. sweep         — an 8-config grid through SweepRunner at 1..N threads,
+//                      wall-clock scaling plus a determinism check (merged
+//                      JSON at threads=1 must equal threads=N).
+//
+// Flags: --out=PATH (default BENCH_sim_hotpath.json), --events=N,
+//        --threads=N (max pool for the sweep section), --fast (reduced
+//        matrix for CI smoke), --no-sweep, --label=STR (tag in the JSON).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "harness/sweep_runner.h"
+
+namespace lion {
+namespace {
+
+double WallSeconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// --- 1. Event churn: the scheduler loop in isolation -------------------------
+
+struct ChurnResult {
+  uint64_t events = 0;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+};
+
+// One self-rescheduling chain step. The closure captures two pointers and
+// two words of payload (~32 bytes), the size class of real protocol
+// callbacks (a `this`, a TxnPtr, a completion token).
+void ChainStep(Simulator* sim, uint64_t* remaining, uint64_t salt,
+               uint64_t* sink) {
+  if (*remaining == 0) return;
+  --*remaining;
+  *sink += salt;
+  sim->Schedule(100, [sim, remaining, salt, sink]() {
+    ChainStep(sim, remaining, salt ^ 0x9e3779b97f4a7c15ull, sink);
+  });
+}
+
+ChurnResult EventChurn(uint64_t total_events) {
+  Simulator sim(42);
+  uint64_t remaining = total_events;
+  uint64_t sink = 0;
+  constexpr int kChains = 64;  // realistic queue depth for the heap ops
+  auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < kChains; ++c) {
+    ChainStep(&sim, &remaining, static_cast<uint64_t>(c) + 1, &sink);
+  }
+  sim.RunUntilIdle();
+  ChurnResult res;
+  res.wall_s = WallSeconds(t0);
+  res.events = sim.processed_events();
+  res.events_per_sec = static_cast<double>(res.events) / res.wall_s;
+  if (sink == 0xdeadbeef) std::printf("(unlikely)\n");  // keep `sink` live
+  return res;
+}
+
+// --- 2. Full experiments: events/sec with real event bodies ------------------
+
+struct MacroResult {
+  std::string name;
+  uint64_t events = 0;
+  uint64_t committed = 0;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  double throughput = 0.0;
+};
+
+ExperimentConfig YcsbLion(bool fast) {
+  ExperimentConfig cfg = bench::EvalConfig("Lion");
+  cfg.workload = "ycsb";
+  cfg.ycsb.cross_ratio = 0.5;
+  cfg.ycsb.skew_factor = 0.8;
+  cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
+  cfg.warmup = fast ? 200 * kMillisecond : 500 * kMillisecond;
+  cfg.duration = fast ? 500 * kMillisecond : 2 * kSecond;
+  return cfg;
+}
+
+ExperimentConfig Tpcc2Pc(bool fast) {
+  ExperimentConfig cfg = bench::EvalConfig("2PC");
+  cfg.workload = "tpcc";
+  cfg.cluster.partitions_per_node = 4;
+  cfg.tpcc.remote_ratio = 0.5;
+  cfg.tpcc.skew_factor = 0.8;
+  cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
+  cfg.warmup = fast ? 200 * kMillisecond : 500 * kMillisecond;
+  cfg.duration = fast ? 500 * kMillisecond : 2 * kSecond;
+  return cfg;
+}
+
+MacroResult RunMacro(const std::string& name, const ExperimentConfig& cfg) {
+  MacroResult res;
+  res.name = name;
+  std::unique_ptr<Experiment> ex;
+  Status s = ExperimentBuilder(cfg).Build(&ex);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(), s.ToString().c_str());
+    return res;
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  ExperimentResult r = ex->Run();
+  res.wall_s = WallSeconds(t0);
+  res.events = ex->sim()->processed_events();
+  res.committed = r.committed;
+  res.throughput = r.throughput;
+  res.events_per_sec = static_cast<double>(res.events) / res.wall_s;
+  return res;
+}
+
+// --- 3. Sweep scaling --------------------------------------------------------
+
+struct SweepScaling {
+  size_t configs = 0;
+  std::vector<int> threads;
+  std::vector<double> wall_s;
+  bool deterministic = false;
+};
+
+std::vector<SweepPoint> SweepGrid(bool fast) {
+  // 2 protocols x 4 cross ratios = 8 configs, the ISSUE's minimum grid.
+  std::vector<SweepPoint> points;
+  const char* protocols[] = {"2PC", "Lion"};
+  const double ratios[] = {0.0, 0.2, 0.5, 0.8};
+  for (const char* p : protocols) {
+    for (double r : ratios) {
+      ExperimentConfig cfg = bench::EvalConfig(p);
+      cfg.workload = "ycsb";
+      cfg.ycsb.cross_ratio = r;
+      cfg.ycsb.skew_factor = 0.8;
+      cfg.warmup = fast ? 100 * kMillisecond : 300 * kMillisecond;
+      cfg.duration = fast ? 300 * kMillisecond : 1 * kSecond;
+      char name[64];
+      std::snprintf(name, sizeof(name), "%s/cross=%d", p,
+                    static_cast<int>(r * 100));
+      points.push_back(SweepPoint{name, cfg});
+    }
+  }
+  return points;
+}
+
+SweepScaling RunSweepScaling(bool fast, int max_threads) {
+  SweepScaling out;
+  std::vector<SweepPoint> grid = SweepGrid(fast);
+  out.configs = grid.size();
+
+  std::string json_t1;
+  for (int threads : {1, 2, 4, max_threads}) {
+    if (threads > max_threads) continue;
+    if (std::find(out.threads.begin(), out.threads.end(), threads) !=
+        out.threads.end()) {
+      continue;  // max_threads may coincide with 1, 2 or 4
+    }
+    SweepOptions opts;
+    opts.threads = threads;
+    SweepRunner runner(opts);
+    for (const SweepPoint& p : grid) runner.Add(p);
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<SweepOutcome> outcomes = runner.Run();
+    double wall = WallSeconds(t0);
+    out.threads.push_back(threads);
+    out.wall_s.push_back(wall);
+    std::string merged = SweepRunner::MergeJson(outcomes);
+    if (threads == 1) {
+      json_t1 = merged;
+      out.deterministic = true;
+    } else {
+      out.deterministic = out.deterministic && (merged == json_t1);
+    }
+    std::printf("sweep: %zu configs, threads=%d, wall=%.2fs\n", grid.size(),
+                threads, wall);
+  }
+  return out;
+}
+
+// --- JSON emission -----------------------------------------------------------
+
+void AppendKv(std::string* out, const char* key, double v, bool* first) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  if (!*first) *out += ",";
+  *first = false;
+  *out += "\"";
+  *out += key;
+  *out += "\":";
+  *out += buf;
+}
+
+void AppendKv(std::string* out, const char* key, uint64_t v, bool* first) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += "\"";
+  *out += key;
+  *out += "\":";
+  *out += std::to_string(v);
+}
+
+void AppendKv(std::string* out, const char* key, const std::string& v,
+              bool* first) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += "\"";
+  *out += key;
+  *out += "\":\"";
+  AppendJsonEscaped(out, v);  // --label is arbitrary user text
+  *out += "\"";
+}
+
+void AppendKv(std::string* out, const char* key, bool v, bool* first) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += "\"";
+  *out += key;
+  *out += "\":";
+  *out += v ? "true" : "false";
+}
+
+}  // namespace
+}  // namespace lion
+
+int main(int argc, char** argv) {
+  using namespace lion;
+
+  std::string out_path = "BENCH_sim_hotpath.json";
+  std::string label = "current";
+  uint64_t churn_events = 4'000'000;
+  bool fast = bench::FastMode();
+  bool run_sweep = true;
+  int max_threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (max_threads < 1) max_threads = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--out=", 6) == 0) {
+      out_path = a + 6;
+    } else if (std::strncmp(a, "--events=", 9) == 0) {
+      churn_events = std::strtoull(a + 9, nullptr, 10);
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      // Clamp: 0 (or garbage) would skip every calibrated thread count in
+      // the sweep loop and falsely report a determinism mismatch.
+      max_threads = std::max(1, std::atoi(a + 10));
+    } else if (std::strncmp(a, "--label=", 8) == 0) {
+      label = a + 8;
+    } else if (std::strcmp(a, "--fast") == 0) {
+      fast = true;
+    } else if (std::strcmp(a, "--no-sweep") == 0) {
+      run_sweep = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a);
+      return 1;
+    }
+  }
+  if (fast) churn_events = std::min<uint64_t>(churn_events, 1'000'000);
+
+  std::printf("== sim hot path baseline (%s mode) ==\n", fast ? "fast" : "full");
+
+  ChurnResult churn = EventChurn(churn_events);
+  std::printf("event_churn: %llu events in %.3fs -> %.2f M events/s\n",
+              static_cast<unsigned long long>(churn.events), churn.wall_s,
+              churn.events_per_sec / 1e6);
+
+  std::vector<MacroResult> macros;
+  macros.push_back(RunMacro("ycsb_lion", YcsbLion(fast)));
+  macros.push_back(RunMacro("tpcc_2pc", Tpcc2Pc(fast)));
+  for (const MacroResult& m : macros) {
+    std::printf("%s: %llu events, %llu committed, %.3fs wall -> %.2f M events/s"
+                " (%.1f ktxn/s)\n",
+                m.name.c_str(), static_cast<unsigned long long>(m.events),
+                static_cast<unsigned long long>(m.committed), m.wall_s,
+                m.events_per_sec / 1e6, m.throughput / 1000.0);
+  }
+
+  SweepScaling sweep;
+  if (run_sweep) {
+    sweep = RunSweepScaling(fast, max_threads);
+    if (!sweep.wall_s.empty()) {
+      double base = sweep.wall_s.front();
+      std::printf("sweep determinism: %s; speedup at max threads: %.2fx\n",
+                  sweep.deterministic ? "OK" : "MISMATCH",
+                  base / sweep.wall_s.back());
+    }
+  }
+
+  // Emit the JSON document.
+  std::string json = "{";
+  bool first = true;
+  AppendKv(&json, "bench", std::string("sim_hotpath"), &first);
+  AppendKv(&json, "label", label, &first);
+  AppendKv(&json, "mode", std::string(fast ? "fast" : "full"), &first);
+  AppendKv(&json, "hardware_threads",
+           static_cast<uint64_t>(std::thread::hardware_concurrency()), &first);
+  json += ",\"event_churn\":{";
+  bool f2 = true;
+  AppendKv(&json, "events", churn.events, &f2);
+  AppendKv(&json, "wall_s", churn.wall_s, &f2);
+  AppendKv(&json, "events_per_sec", churn.events_per_sec, &f2);
+  json += "},\"experiments\":[";
+  for (size_t i = 0; i < macros.size(); ++i) {
+    const MacroResult& m = macros[i];
+    if (i > 0) json += ",";
+    json += "{";
+    bool f3 = true;
+    AppendKv(&json, "name", m.name, &f3);
+    AppendKv(&json, "events", m.events, &f3);
+    AppendKv(&json, "committed", m.committed, &f3);
+    AppendKv(&json, "wall_s", m.wall_s, &f3);
+    AppendKv(&json, "events_per_sec", m.events_per_sec, &f3);
+    AppendKv(&json, "throughput_txn_s", m.throughput, &f3);
+    json += "}";
+  }
+  json += "]";
+  if (run_sweep && !sweep.wall_s.empty()) {
+    json += ",\"sweep\":{";
+    bool f4 = true;
+    AppendKv(&json, "configs", static_cast<uint64_t>(sweep.configs), &f4);
+    AppendKv(&json, "deterministic", sweep.deterministic, &f4);
+    json += ",\"runs\":[";
+    for (size_t i = 0; i < sweep.threads.size(); ++i) {
+      if (i > 0) json += ",";
+      json += "{";
+      bool f5 = true;
+      AppendKv(&json, "threads", static_cast<uint64_t>(sweep.threads[i]), &f5);
+      AppendKv(&json, "wall_s", sweep.wall_s[i], &f5);
+      AppendKv(&json, "speedup_vs_1t", sweep.wall_s.front() / sweep.wall_s[i],
+               &f5);
+      json += "}";
+    }
+    json += "]}";
+  }
+  json += "}\n";
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

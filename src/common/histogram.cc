@@ -6,12 +6,6 @@
 
 namespace lion {
 
-namespace {
-// 16 sub-buckets per power of two covers int64 range in 64*16 buckets.
-constexpr size_t kSubBuckets = 16;
-constexpr size_t kNumBuckets = 64 * kSubBuckets;
-}  // namespace
-
 Histogram::Histogram()
     : buckets_(kNumBuckets, 0),
       count_(0),
@@ -19,32 +13,12 @@ Histogram::Histogram()
       max_(std::numeric_limits<int64_t>::min()),
       sum_(0.0) {}
 
-size_t Histogram::BucketFor(int64_t value) {
-  if (value < 0) value = 0;
-  uint64_t v = static_cast<uint64_t>(value);
-  if (v < kSubBuckets) return static_cast<size_t>(v);
-  int msb = 63 - __builtin_clzll(v);
-  // Position within the power-of-two range, quantized to kSubBuckets slots.
-  uint64_t offset = (v - (1ULL << msb)) >> (msb - 4);
-  size_t idx = static_cast<size_t>(msb) * kSubBuckets + static_cast<size_t>(offset);
-  return std::min(idx, kNumBuckets - 1);
-}
-
 int64_t Histogram::BucketLow(size_t index) {
   if (index < kSubBuckets) return static_cast<int64_t>(index);
   size_t msb = index / kSubBuckets;
   size_t offset = index % kSubBuckets;
   uint64_t base = 1ULL << msb;
   return static_cast<int64_t>(base + (offset << (msb - 4)));
-}
-
-void Histogram::Record(int64_t value) {
-  if (value < 0) value = 0;
-  buckets_[BucketFor(value)]++;
-  count_++;
-  min_ = std::min(min_, value);
-  max_ = std::max(max_, value);
-  sum_ += static_cast<double>(value);
 }
 
 void Histogram::Merge(const Histogram& other) {

@@ -1,6 +1,7 @@
 // Latency histogram with percentile extraction.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstddef>
 #include <vector>
@@ -13,12 +14,24 @@ namespace lion {
 ///
 /// Buckets grow geometrically (~4% relative error), so percentile queries are
 /// cheap and memory use is constant regardless of sample count.
+///
+/// Record() runs once per transaction (latency, phase breakdowns), so the
+/// whole per-sample path is inline and O(1): bucket selection is a single
+/// bit-scan (count-leading-zeros) plus shifts — no loops, no out-of-line
+/// call.
 class Histogram {
  public:
   Histogram();
 
   /// Records one sample. Negative samples are clamped to zero.
-  void Record(int64_t value);
+  void Record(int64_t value) {
+    if (value < 0) value = 0;
+    buckets_[BucketFor(value)]++;
+    count_++;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    sum_ += static_cast<double>(value);
+  }
 
   /// Merges another histogram into this one.
   void Merge(const Histogram& other);
@@ -34,7 +47,20 @@ class Histogram {
   void Reset();
 
  private:
-  static size_t BucketFor(int64_t value);
+  // 16 sub-buckets per power of two covers the int64 range in 64*16 buckets.
+  static constexpr size_t kSubBuckets = 16;
+  static constexpr size_t kNumBuckets = 64 * kSubBuckets;
+
+  static size_t BucketFor(int64_t value) {
+    uint64_t v = static_cast<uint64_t>(value < 0 ? 0 : value);
+    if (v < kSubBuckets) return static_cast<size_t>(v);
+    int msb = 63 - __builtin_clzll(v);  // bit-scan: O(1) per sample
+    // Position within the power-of-two range, quantized to kSubBuckets slots.
+    uint64_t offset = (v - (1ULL << msb)) >> (msb - 4);
+    size_t idx =
+        static_cast<size_t>(msb) * kSubBuckets + static_cast<size_t>(offset);
+    return std::min(idx, kNumBuckets - 1);
+  }
   static int64_t BucketLow(size_t index);
 
   std::vector<uint64_t> buckets_;

@@ -1,9 +1,11 @@
 // Move-only type-erased callable, for closures that capture unique_ptrs.
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <new>
 #include <type_traits>
 #include <utility>
 
@@ -17,9 +19,24 @@ class MoveFn;
 /// std::function it never requires the target to be copyable, so scheduler
 /// callbacks can own their transaction outright instead of smuggling it
 /// through a shared_ptr shim.
+///
+/// Targets up to kInlineBytes (with compatible alignment and a noexcept
+/// move constructor) live in an inline small buffer: constructing,
+/// invoking, and destroying such a MoveFn never touches the allocator.
+/// This is the simulator's per-event hot path — a typical scheduler
+/// closure (`this` + TxnPtr + completion callback ≈ 48 bytes) stays
+/// inline, so scheduling an event is allocation-free. Fat closures fall
+/// back to one heap allocation, exactly like the old unique_ptr design.
+/// Dispatch is a three-entry static vtable (invoke / relocate / destroy)
+/// instead of a virtual base, which keeps the empty state a null pointer
+/// and relocation a single indirect call.
 template <typename R, typename... Args>
 class MoveFn<R(Args...)> {
  public:
+  /// Small-buffer capacity. Sized for the repo's scheduler closures; bump
+  /// deliberately — every Event in the simulator heap carries this buffer.
+  static constexpr size_t kInlineBytes = 48;
+
   MoveFn() = default;
   MoveFn(std::nullptr_t) {}  // NOLINT: implicit, mirrors std::function
 
@@ -27,41 +44,116 @@ class MoveFn<R(Args...)> {
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, MoveFn> &&
                 std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
-  MoveFn(F&& fn)  // NOLINT: implicit, mirrors std::function
-      : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(fn))) {}
+  MoveFn(F&& fn) {  // NOLINT: implicit, mirrors std::function
+    using Target = std::decay_t<F>;
+    if constexpr (kFitsInline<Target>) {
+      ::new (static_cast<void*>(storage_)) Target(std::forward<F>(fn));
+      vtable_ = &InlineOps<Target>::kVtable;
+    } else {
+      ::new (static_cast<void*>(storage_))
+          Target*(new Target(std::forward<F>(fn)));
+      vtable_ = &HeapOps<Target>::kVtable;
+    }
+  }
 
-  MoveFn(MoveFn&&) = default;
-  MoveFn& operator=(MoveFn&&) = default;
+  MoveFn(MoveFn&& other) noexcept { MoveFrom(other); }
+
+  MoveFn& operator=(MoveFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
   MoveFn(const MoveFn&) = delete;
   MoveFn& operator=(const MoveFn&) = delete;
 
+  ~MoveFn() { Reset(); }
+
   R operator()(Args... args) {
-    if (impl_ == nullptr) {
+    if (vtable_ == nullptr) {
       // Mirror std::function's bad_function_call diagnosability without
       // exceptions: fail loudly at the call, not as a remote segfault.
       std::fprintf(stderr, "fatal: invoking an empty MoveFn\n");
       std::abort();
     }
-    return impl_->Invoke(std::forward<Args>(args)...);
+    return vtable_->invoke(storage_, std::forward<Args>(args)...);
   }
 
-  explicit operator bool() const { return impl_ != nullptr; }
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  /// True iff the current target lives in the small buffer (test hook for
+  /// the allocation-free guarantee). An empty MoveFn reports false.
+  bool uses_inline_storage() const {
+    return vtable_ != nullptr && vtable_->inline_storage;
+  }
 
  private:
-  struct Base {
-    virtual ~Base() = default;
-    virtual R Invoke(Args...) = 0;
-  };
-  template <typename F>
-  struct Impl final : Base {
-    explicit Impl(F f) : fn(std::move(f)) {}
-    R Invoke(Args... args) override {
-      return fn(std::forward<Args>(args)...);
-    }
-    F fn;
+  struct VTable {
+    R (*invoke)(void* target, Args&&... args);
+    /// Move-constructs the target into `dst` and destroys it in `src`.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* target) noexcept;
+    bool inline_storage;
   };
 
-  std::unique_ptr<Base> impl_;
+  // The noexcept-move requirement keeps MoveFn's own move operations
+  // noexcept (the simulator's event heap relies on that for std::push_heap
+  // correctness under reallocation).
+  template <typename F>
+  static constexpr bool kFitsInline =
+      sizeof(F) <= kInlineBytes && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  struct InlineOps {
+    static R Invoke(void* target, Args&&... args) {
+      return (*static_cast<F*>(target))(std::forward<Args>(args)...);
+    }
+    static void Relocate(void* src, void* dst) noexcept {
+      F* from = static_cast<F*>(src);
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static void Destroy(void* target) noexcept {
+      static_cast<F*>(target)->~F();
+    }
+    static constexpr VTable kVtable{&Invoke, &Relocate, &Destroy,
+                                    /*inline_storage=*/true};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static F* Ptr(void* slot) { return *static_cast<F**>(slot); }
+    static R Invoke(void* slot, Args&&... args) {
+      return (*Ptr(slot))(std::forward<Args>(args)...);
+    }
+    static void Relocate(void* src, void* dst) noexcept {
+      ::new (dst) F*(Ptr(src));  // ownership transfers with the pointer
+    }
+    static void Destroy(void* slot) noexcept { delete Ptr(slot); }
+    static constexpr VTable kVtable{&Invoke, &Relocate, &Destroy,
+                                    /*inline_storage=*/false};
+  };
+
+  void MoveFrom(MoveFn& other) noexcept {
+    if (other.vtable_ != nullptr) {
+      other.vtable_->relocate(other.storage_, storage_);
+      vtable_ = other.vtable_;
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void Reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const VTable* vtable_ = nullptr;
 };
 
 }  // namespace lion

@@ -14,29 +14,16 @@ Planner::Planner(Cluster* cluster, PlannerConfig config,
       predictor_(predictor),
       clump_generator_(config.clump),
       plan_generator_(config.plan),
-      schism_(config.plan.epsilon) {
+      schism_(config.plan.epsilon),
+      tick_timer_(cluster->sim(), [this](SimTime) { RunOnce(); }) {
   for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
     adaptors_.push_back(std::make_unique<Adaptor>(cluster_, n));
   }
 }
 
-void Planner::Start() {
-  stopped_ = false;
-  if (started_) return;  // a pending tick resumes the loop
-  started_ = true;
-  cluster_->sim()->ScheduleWeak(config_.interval, [this]() { Tick(); });
-}
+void Planner::Start() { tick_timer_.Start(config_.interval); }
 
-void Planner::Stop() { stopped_ = true; }
-
-void Planner::Tick() {
-  if (stopped_) {
-    started_ = false;
-    return;
-  }
-  RunOnce();
-  cluster_->sim()->ScheduleWeak(config_.interval, [this]() { Tick(); });
-}
+void Planner::Stop() { tick_timer_.Stop(); }
 
 void Planner::RecordTxn(const std::vector<PartitionId>& parts, SimTime now) {
   history_.push_back(parts);

@@ -14,6 +14,7 @@
 #include "core/predictor_interface.h"
 #include "core/schism.h"
 #include "replication/cluster.h"
+#include "sim/periodic_timer.h"
 
 namespace lion {
 
@@ -72,8 +73,6 @@ class Planner {
   NodeId planner_endpoint() const { return cluster_->num_nodes(); }
 
  private:
-  void Tick();
-
   Cluster* cluster_;
   PlannerConfig config_;
   PredictorInterface* predictor_;
@@ -84,8 +83,7 @@ class Planner {
   std::deque<std::vector<PartitionId>> history_;
   uint64_t plans_generated_ = 0;
   uint64_t entries_dispatched_ = 0;
-  bool started_ = false;
-  bool stopped_ = false;
+  PeriodicTimer tick_timer_;
   ReconfigurationPlan last_plan_;
 };
 

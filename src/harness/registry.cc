@@ -89,6 +89,15 @@ std::vector<std::string> ProtocolRegistry::Names() const {
   return names;  // std::map iterates sorted
 }
 
+std::vector<std::string> ProtocolRegistry::NamesByMode(
+    ExecutionMode mode) const {
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.mode == mode) names.push_back(name);
+  }
+  return names;  // std::map iterates sorted
+}
+
 std::string ProtocolRegistry::JoinedNames() const {
   return JoinNames(Names());
 }

@@ -78,6 +78,11 @@ class ProtocolRegistry {
   /// All registered names, sorted.
   std::vector<std::string> Names() const;
 
+  /// Registered names whose execution mode is `mode`, sorted. Lets sweeps
+  /// enumerate "every standard protocol" / "every batch protocol" from the
+  /// registry instead of hard-coding name lists.
+  std::vector<std::string> NamesByMode(ExecutionMode mode) const;
+
   /// Comma-joined Names(), for error messages and listings.
   std::string JoinedNames() const;
 

@@ -1,0 +1,127 @@
+#include "harness/sweep_runner.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace lion {
+
+namespace {
+
+// Status codes rendered as stable identifiers for the merged JSON.
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk: return "OK";
+    case Status::Code::kNotFound: return "NOT_FOUND";
+    case Status::Code::kAlreadyExists: return "ALREADY_EXISTS";
+    case Status::Code::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Status::Code::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case Status::Code::kAborted: return "ABORTED";
+    case Status::Code::kUnavailable: return "UNAVAILABLE";
+    case Status::Code::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {}
+
+void SweepRunner::Add(std::string name, ExperimentConfig config) {
+  points_.push_back(SweepPoint{std::move(name), std::move(config)});
+}
+
+void SweepRunner::Add(SweepPoint point) { points_.push_back(std::move(point)); }
+
+std::vector<SweepOutcome> SweepRunner::Run() {
+  const size_t total = points_.size();
+  std::vector<SweepOutcome> outcomes(total);
+  if (total == 0) return outcomes;
+
+  int threads = options_.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+  }
+  if (static_cast<size_t>(threads) > total) threads = static_cast<int>(total);
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex progress_mutex;
+
+  auto worker = [&]() {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      SweepOutcome& out = outcomes[i];
+      out.name = points_[i].name;
+      out.status = ExperimentBuilder(points_[i].config).Run(&out.result);
+      size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (options_.on_progress) {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        options_.on_progress(finished, total, out);
+      }
+    }
+  };
+
+  if (threads == 1) {
+    // In-thread execution keeps single-threaded sweeps trivially debuggable
+    // (no pool in the backtrace) and spawn-free.
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  return outcomes;
+}
+
+std::string SweepRunner::MergeJson(const std::vector<SweepOutcome>& outcomes) {
+  std::string json = "{\"sweep_size\":";
+  json += std::to_string(outcomes.size());
+  json += ",\"runs\":[";
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const SweepOutcome& o = outcomes[i];
+    if (i > 0) json += ",";
+    json += "{\"name\":\"";
+    AppendJsonEscaped(&json, o.name);
+    json += "\",\"status\":\"";
+    json += CodeName(o.status.code());
+    json += "\"";
+    if (o.status.ok()) {
+      json += ",\"result\":";
+      json += o.result.ToJson();
+    } else {
+      json += ",\"error\":\"";
+      AppendJsonEscaped(&json, o.status.message());
+      json += "\"";
+    }
+    json += "}";
+  }
+  json += "]}";
+  return json;
+}
+
+}  // namespace lion

@@ -13,22 +13,20 @@ ClayProtocol::ClayProtocol(Cluster* cluster, MetricsCollector* metrics,
     : Protocol(cluster, metrics),
       engine_(cluster, metrics),
       config_(config),
-      prev_busy_(cluster->num_nodes(), 0) {}
+      prev_busy_(cluster->num_nodes(), 0),
+      monitor_timer_(cluster->sim(), [this](SimTime) { Monitor(); }) {}
 
 void ClayProtocol::Start() {
   stopped_ = false;
-  if (started_) return;  // a pending monitor tick resumes the loop
-  started_ = true;
-  cluster_->sim()->ScheduleWeak(config_.monitor_interval, [this]() { Monitor(); });
+  monitor_timer_.Start(config_.monitor_interval);
+}
+
+void ClayProtocol::Stop() {
+  Protocol::Stop();
+  monitor_timer_.Stop();
 }
 
 void ClayProtocol::Monitor() {
-  if (stopped()) {
-    started_ = false;
-    return;
-  }
-  cluster_->sim()->ScheduleWeak(config_.monitor_interval, [this]() { Monitor(); });
-
   // Per-node worker busy time over the last monitoring window.
   int n = cluster_->num_nodes();
   std::vector<double> load(n, 0.0);

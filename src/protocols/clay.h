@@ -35,6 +35,7 @@ class ClayProtocol : public Protocol {
 
   std::string name() const override { return "Clay"; }
   void Start() override;
+  void Stop() override;
   void Submit(TxnPtr txn, TxnDoneFn done) override;
 
   uint64_t repartitions() const { return repartitions_; }
@@ -47,7 +48,7 @@ class ClayProtocol : public Protocol {
   std::vector<SimTime> prev_busy_;
   std::deque<std::vector<PartitionId>> history_;
   uint64_t repartitions_ = 0;
-  bool started_ = false;
+  PeriodicTimer monitor_timer_;
 };
 
 }  // namespace lion

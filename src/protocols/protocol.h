@@ -8,6 +8,7 @@
 
 #include "metrics/metrics.h"
 #include "replication/cluster.h"
+#include "sim/periodic_timer.h"
 #include "txn/transaction.h"
 
 namespace lion {
@@ -22,7 +23,10 @@ using TxnDoneFn = std::function<void(TxnPtr)>;
 class Protocol {
  public:
   Protocol(Cluster* cluster, MetricsCollector* metrics)
-      : cluster_(cluster), metrics_(metrics) {}
+      : cluster_(cluster),
+        metrics_(metrics),
+        epoch_timer_(cluster != nullptr ? cluster->sim() : nullptr,
+                     [this](SimTime now) { OnEpoch(now); }) {}
   virtual ~Protocol() = default;
 
   Protocol(const Protocol&) = delete;
@@ -40,7 +44,10 @@ class Protocol {
   /// no new background work is started; in-flight transactions still
   /// complete. Called once after the last Submit; idempotent. Overrides
   /// must call the base implementation.
-  virtual void Stop() { stopped_ = true; }
+  virtual void Stop() {
+    stopped_ = true;
+    epoch_timer_.Stop();
+  }
 
   /// Epoch-boundary hook, invoked every cluster `epoch_interval` once
   /// StartEpochTimer() has been called (batch protocols flush here; others
@@ -75,9 +82,7 @@ class Protocol {
   /// so a Start() after Stop() re-arms the timer; call from Start().
   void StartEpochTimer() {
     stopped_ = false;
-    if (epoch_timer_running_) return;  // a pending tick resumes the chain
-    epoch_timer_running_ = true;
-    ScheduleEpochTick();
+    epoch_timer_.Start(cluster_->config().epoch_interval);
   }
 
   Cluster* cluster_;
@@ -87,18 +92,7 @@ class Protocol {
   bool stopped_ = false;
 
  private:
-  void ScheduleEpochTick() {
-    cluster_->sim()->ScheduleWeak(cluster_->config().epoch_interval, [this]() {
-      if (stopped_) {
-        epoch_timer_running_ = false;
-        return;
-      }
-      OnEpoch(cluster_->sim()->Now());
-      ScheduleEpochTick();
-    });
-  }
-
-  bool epoch_timer_running_ = false;
+  PeriodicTimer epoch_timer_;
 };
 
 }  // namespace lion

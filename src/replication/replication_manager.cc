@@ -23,16 +23,15 @@ ReplicationManager::ReplicationManager(Simulator* sim, Network* network,
       config_(config),
       epoch_(0),
       epoch_started_at_(0),
-      started_(false),
+      epoch_timer_(sim, [this](SimTime) { CloseEpochNow(); }),
       total_entries_shipped_(0) {
   pending_.resize(stores_.size());
 }
 
 void ReplicationManager::Start() {
-  if (started_) return;
-  started_ = true;
+  if (epoch_timer_.running()) return;
   epoch_started_at_ = sim_->Now();
-  sim_->ScheduleWeak(config_.epoch_interval, [this]() { Tick(); });
+  epoch_timer_.Start(config_.epoch_interval);
 }
 
 void ReplicationManager::Append(PartitionId pid, Key key, Value value) {
@@ -63,11 +62,6 @@ void ReplicationManager::CloseEpochNow() {
   std::vector<std::function<void()>> waiters;
   waiters.swap(epoch_waiters_);
   for (auto& fn : waiters) fn();
-}
-
-void ReplicationManager::Tick() {
-  CloseEpochNow();
-  sim_->ScheduleWeak(config_.epoch_interval, [this]() { Tick(); });
 }
 
 void ReplicationManager::ShipPartition(PartitionId pid) {

@@ -10,6 +10,7 @@
 #include "replication/cluster_config.h"
 #include "replication/router_table.h"
 #include "sim/network.h"
+#include "sim/periodic_timer.h"
 #include "sim/simulator.h"
 #include "storage/partition_store.h"
 
@@ -58,7 +59,6 @@ class ReplicationManager {
     Value value;
   };
 
-  void Tick();
   void ShipPartition(PartitionId pid);
 
   Simulator* sim_;
@@ -69,7 +69,7 @@ class ReplicationManager {
 
   uint64_t epoch_;
   SimTime epoch_started_at_;
-  bool started_;
+  PeriodicTimer epoch_timer_;
   uint64_t total_entries_shipped_;
   std::vector<std::vector<LogEntry>> pending_;          // per partition
   std::vector<std::function<void()>> epoch_waiters_;

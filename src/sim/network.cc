@@ -21,7 +21,7 @@ void Network::RollWindows() {
 }
 
 void Network::Send(NodeId from, NodeId to, uint64_t bytes,
-                   std::function<void()> on_delivery) {
+                   Simulator::EventFn on_delivery) {
   SimTime delay = TransferDelay(from, to, bytes);
   if (from != to) {
     total_bytes_ += bytes;

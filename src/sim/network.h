@@ -2,9 +2,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "common/move_fn.h"
 #include "common/types.h"
 #include "sim/simulator.h"
 
@@ -32,8 +32,11 @@ class Network {
   /// Sends `bytes` from `from` to `to`; `on_delivery` runs at arrival time.
   /// Loopback messages cost `local_latency` and are not counted as network
   /// traffic (matching how the paper reports network cost per transaction).
+  /// The callback is a move-only MoveFn: a small caller lambda goes straight
+  /// into the delivery event's inline storage with no std::function
+  /// conversion (and no allocation) on this per-message path.
   void Send(NodeId from, NodeId to, uint64_t bytes,
-            std::function<void()> on_delivery);
+            Simulator::EventFn on_delivery);
 
   /// Computes the delivery delay without sending (used by cost models).
   SimTime TransferDelay(NodeId from, NodeId to, uint64_t bytes) const;

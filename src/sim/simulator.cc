@@ -6,14 +6,54 @@
 
 namespace lion {
 
+namespace {
+// Past the typical steady-state depth (closed-loop drivers keep a few
+// hundred to a few thousand events pending), so the hot path never
+// reallocates — and never move-relocates every queued closure — mid-run.
+constexpr size_t kInitialCapacity = 4096;
+}  // namespace
+
 Simulator::Simulator(uint64_t seed)
-    : now_(0), next_seq_(0), processed_(0), strong_pending_(0), rng_(seed) {}
+    : now_(0), next_seq_(0), processed_(0), strong_pending_(0), rng_(seed) {
+  queue_.reserve(kInitialCapacity);
+  slots_.Reserve(kInitialCapacity);
+}
+
+void Simulator::SiftUp(size_t i) {
+  HeapEntry e = queue_[i];
+  while (i > 0) {
+    size_t parent = (i - 1) >> 2;
+    if (!Earlier(e, queue_[parent])) break;
+    queue_[i] = queue_[parent];
+    i = parent;
+  }
+  queue_[i] = e;
+}
+
+void Simulator::SiftDown() {
+  size_t n = queue_.size();
+  HeapEntry e = queue_[0];
+  size_t i = 0;
+  for (;;) {
+    size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    size_t best = first;
+    size_t end = first + 4 < n ? first + 4 : n;
+    for (size_t c = first + 1; c < end; ++c) {
+      if (Earlier(queue_[c], queue_[best])) best = c;
+    }
+    if (!Earlier(queue_[best], e)) break;
+    queue_[i] = queue_[best];
+    i = best;
+  }
+  queue_[i] = e;
+}
 
 void Simulator::Push(SimTime at, bool weak, EventFn fn) {
   if (at < now_) at = now_;
   if (!weak) strong_pending_++;
-  queue_.push_back(Event{at, next_seq_++, weak, std::move(fn)});
-  std::push_heap(queue_.begin(), queue_.end(), EventLater{});
+  queue_.push_back(HeapEntry{at, next_seq_++, slots_.Park(std::move(fn)), weak});
+  SiftUp(queue_.size() - 1);
 }
 
 void Simulator::Schedule(SimTime delay, EventFn fn) {
@@ -31,14 +71,18 @@ void Simulator::ScheduleWeak(SimTime delay, EventFn fn) {
 }
 
 void Simulator::PopAndRun() {
-  std::pop_heap(queue_.begin(), queue_.end(), EventLater{});
-  Event ev = std::move(queue_.back());
+  HeapEntry ev = queue_[0];
+  queue_[0] = queue_.back();
   queue_.pop_back();
+  if (!queue_.empty()) SiftDown();
   assert(ev.at >= now_);
   now_ = ev.at;
   processed_++;
   if (!ev.weak) strong_pending_--;
-  ev.fn();
+  // Take (move out + free) before running: the body may schedule new
+  // events, which can recycle this slot.
+  EventFn fn = slots_.Take(ev.slot);
+  fn();
 }
 
 void Simulator::RunUntil(SimTime until) {

@@ -6,6 +6,7 @@
 
 #include "common/move_fn.h"
 #include "common/rng.h"
+#include "common/slot_pool.h"
 #include "common/types.h"
 
 namespace lion {
@@ -59,30 +60,41 @@ class Simulator {
   Rng& rng() { return rng_; }
 
  private:
-  struct Event {
+  // The ordered heap holds only trivially-copyable entries; the closure
+  // itself is parked once in `slots_` and never moved by the heap. Sifting
+  // therefore copies 24-byte PODs instead of relocating type-erased
+  // callables — together with MoveFn's small-buffer storage this makes the
+  // schedule→run cycle allocation-free and keeps per-sift work at a few
+  // trivial copies.
+  struct HeapEntry {
     SimTime at;
     uint64_t seq;
+    uint32_t slot;
     bool weak;
-    EventFn fn;
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  // (at, seq) is a total order (seq is unique), so the pop sequence — and
+  // with it the whole simulation — is deterministic regardless of how the
+  // heap arranges entries internally.
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
 
   void Push(SimTime at, bool weak, EventFn fn);
   void PopAndRun();
+  // Hand-rolled 4-ary implicit heap: half the levels of a binary heap and
+  // the four children of a node sit in adjacent memory, so a sift touches
+  // fewer cache lines than std::push_heap/pop_heap on the same vector.
+  void SiftUp(size_t i);
+  void SiftDown();
 
   SimTime now_;
   uint64_t next_seq_;
   uint64_t processed_;
   uint64_t strong_pending_;
-  // Explicit binary heap (push_heap/pop_heap) rather than priority_queue:
-  // the popped event must be *moved* out before running, which
-  // priority_queue's const top() cannot express for move-only handlers.
-  std::vector<Event> queue_;
+  std::vector<HeapEntry> queue_;
+  // Pending closures, parked by index so the heap never moves them.
+  SlotPool<EventFn> slots_;
   Rng rng_;
 };
 

@@ -20,7 +20,7 @@ double WorkerPool::Load() const {
 }
 
 void WorkerPool::Submit(TaskPriority priority, SimTime duration,
-                        std::function<void()> on_done) {
+                        MoveFn<void()> on_done) {
   if (duration < 0) duration = 0;
   queues_[static_cast<int>(priority)].push_back(Task{duration, std::move(on_done)});
   TryDispatch();
@@ -46,14 +46,17 @@ void WorkerPool::TryDispatch() {
 void WorkerPool::RunTask(Task task) {
   busy_++;
   busy_time_ += task.duration;
-  SimTime duration = task.duration;
-  // Capture the callback by shared ownership: the event queue requires
-  // copyable closures.
-  auto done = std::make_shared<std::function<void()>>(std::move(task.on_done));
-  sim_->Schedule(duration, [this, done]() {
+  // Park the callback in a recycled slot: a MoveFn captured inside another
+  // event closure could never fit the event's inline buffer (it carries its
+  // own), but a slot index is one word.
+  uint32_t slot = inflight_.Park(std::move(task.on_done));
+  sim_->Schedule(task.duration, [this, slot]() {
     busy_--;
     completed_++;
-    if (*done) (*done)();
+    // Take before running: the callback may submit follow-up tasks, which
+    // can recycle this slot.
+    MoveFn<void()> done = inflight_.Take(slot);
+    if (done) done();
     TryDispatch();
   });
 }

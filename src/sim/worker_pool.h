@@ -3,8 +3,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
+#include "common/move_fn.h"
+#include "common/slot_pool.h"
 #include "common/types.h"
 #include "sim/simulator.h"
 
@@ -27,8 +28,11 @@ class WorkerPool {
   WorkerPool(Simulator* sim, int workers);
 
   /// Enqueues a task needing `duration` ns of worker time; `on_done` runs
-  /// when the task's service completes.
-  void Submit(TaskPriority priority, SimTime duration, std::function<void()> on_done);
+  /// when the task's service completes. Move-only: the callback is parked
+  /// in a recycled slot while the task is in flight, so the completion
+  /// event's closure is two words and submission never allocates.
+  void Submit(TaskPriority priority, SimTime duration,
+              MoveFn<void()> on_done);
 
   int workers() const { return workers_; }
   int busy_workers() const { return busy_; }
@@ -45,8 +49,8 @@ class WorkerPool {
 
  private:
   struct Task {
-    SimTime duration;
-    std::function<void()> on_done;
+    SimTime duration = 0;
+    MoveFn<void()> on_done;
   };
 
   void TryDispatch();
@@ -58,6 +62,10 @@ class WorkerPool {
   SimTime busy_time_;
   uint64_t completed_;
   std::deque<Task> queues_[3];
+  // Callbacks of dispatched (in-flight) tasks; completion events reference
+  // their slot instead of owning the callback, which keeps the per-task
+  // completion closure inline in the event heap.
+  SlotPool<MoveFn<void()>> inflight_;
 };
 
 }  // namespace lion

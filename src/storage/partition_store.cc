@@ -5,55 +5,46 @@ namespace lion {
 PartitionStore::PartitionStore(PartitionId id, uint64_t record_count,
                                uint64_t record_bytes)
     : id_(id), record_bytes_(record_bytes), write_blocked_(false) {
-  records_.reserve(record_count);
+  dense_.resize(record_count);
   for (uint64_t k = 0; k < record_count; ++k) {
-    records_.emplace(static_cast<Key>(k), Record{static_cast<Value>(k), 1, 0});
+    dense_[k] = Record{static_cast<Value>(k), 1, 0};
   }
 }
 
-Status PartitionStore::Read(Key key, Value* value, Version* version) const {
-  auto it = records_.find(key);
-  if (it == records_.end()) return Status::NotFound("key");
-  if (value != nullptr) *value = it->second.value;
-  if (version != nullptr) *version = it->second.version;
-  return Status::OK();
-}
-
-void PartitionStore::Apply(Key key, Value value) {
-  Record& rec = records_[key];
-  rec.value = value;
-  rec.version++;
-}
-
-Version PartitionStore::VersionOf(Key key) const {
-  auto it = records_.find(key);
-  return it == records_.end() ? 0 : it->second.version;
-}
-
-bool PartitionStore::TryLock(Key key, TxnId txn) {
-  Record& rec = records_[key];
-  if (rec.lock_holder == 0 || rec.lock_holder == txn) {
-    rec.lock_holder = txn;
-    return true;
+Record& PartitionStore::SparseRecords::GetOrInsert(Key key) {
+  if (key == kEmptyKey) {
+    if (!has_reserved_) {
+      has_reserved_ = true;
+      reserved_ = Record{};
+    }
+    return reserved_;
   }
-  return false;
-}
-
-void PartitionStore::Unlock(Key key, TxnId txn) {
-  auto it = records_.find(key);
-  if (it != records_.end() && it->second.lock_holder == txn) {
-    it->second.lock_holder = 0;
+  // Grow at 50% load so probe chains stay short.
+  if ((size_ + 1) * 2 > slots_.size()) Grow();
+  size_t i = IndexFor(key);
+  for (;;) {
+    Slot& s = slots_[i];
+    if (s.key == key) return s.rec;
+    if (s.key == kEmptyKey) {
+      s.key = key;
+      s.rec = Record{};
+      size_++;
+      return s.rec;
+    }
+    i = (i + 1) & (slots_.size() - 1);
   }
 }
 
-bool PartitionStore::IsLockedByOther(Key key, TxnId txn) const {
-  auto it = records_.find(key);
-  return it != records_.end() && it->second.lock_holder != 0 &&
-         it->second.lock_holder != txn;
-}
-
-void PartitionStore::Insert(Key key, Value value) {
-  records_[key] = Record{value, 1, 0};
+void PartitionStore::SparseRecords::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  shift_--;
+  for (const Slot& s : old) {
+    if (s.key == kEmptyKey) continue;
+    size_t i = IndexFor(s.key);
+    while (slots_[i].key != kEmptyKey) i = (i + 1) & (slots_.size() - 1);
+    slots_[i] = s;
+  }
 }
 
 }  // namespace lion

@@ -2,7 +2,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -25,6 +24,16 @@ struct Record {
 /// count: replicas are placement metadata plus LSN lag (see ReplicaGroup).
 /// Optionally, secondary copies are materialized by the ReplicationManager
 /// for consistency testing.
+///
+/// Storage is hybrid, tuned for the two key shapes the workloads produce.
+/// The bulk-loaded range [0, record_count) — all of YCSB — lives in a dense
+/// array, so the per-operation Read/VersionOf/lock path is one bounds check
+/// and an index. Keys outside that range (TPC-C's (table<<40)|id space and
+/// runtime inserts) live in a small open-addressing side table instead of a
+/// node-based std::unordered_map: the store never erases, so lookups are a
+/// multiplicative hash plus a short linear probe over contiguous slots.
+/// Profiling put the old unordered_map lookup at >50% of whole-experiment
+/// runtime, so this path is worth the specialization.
 class PartitionStore {
  public:
   /// Creates the store and bulk-loads `record_count` records with keys
@@ -33,35 +42,61 @@ class PartitionStore {
   PartitionStore(PartitionId id, uint64_t record_count, uint64_t record_bytes);
 
   PartitionId id() const { return id_; }
-  uint64_t record_count() const { return records_.size(); }
+  uint64_t record_count() const { return dense_.size() + sparse_.size(); }
   uint64_t record_bytes() const { return record_bytes_; }
 
   /// Total logical size used for migration cost accounting.
-  uint64_t SizeBytes() const { return records_.size() * record_bytes_; }
+  uint64_t SizeBytes() const { return record_count() * record_bytes_; }
 
   /// Reads a record (value + version). NotFound if absent.
-  Status Read(Key key, Value* value, Version* version) const;
+  Status Read(Key key, Value* value, Version* version) const {
+    const Record* rec = FindRecord(key);
+    if (rec == nullptr) return Status::NotFound("key");
+    if (value != nullptr) *value = rec->value;
+    if (version != nullptr) *version = rec->version;
+    return Status::OK();
+  }
 
   /// Writes a committed value, bumping the version. Inserts if absent.
-  void Apply(Key key, Value value);
+  void Apply(Key key, Value value) {
+    Record& rec = GetOrInsert(key);
+    rec.value = value;
+    rec.version++;
+  }
 
   /// Returns the current version of `key`, or 0 if absent.
-  Version VersionOf(Key key) const;
+  Version VersionOf(Key key) const {
+    const Record* rec = FindRecord(key);
+    return rec == nullptr ? 0 : rec->version;
+  }
 
   /// Tries to acquire the record's write lock for `txn`. Succeeds if free or
   /// already held by `txn` (re-entrant).
-  bool TryLock(Key key, TxnId txn);
+  bool TryLock(Key key, TxnId txn) {
+    Record& rec = GetOrInsert(key);
+    if (rec.lock_holder == 0 || rec.lock_holder == txn) {
+      rec.lock_holder = txn;
+      return true;
+    }
+    return false;
+  }
 
   /// Releases the record's lock if held by `txn`.
-  void Unlock(Key key, TxnId txn);
+  void Unlock(Key key, TxnId txn) {
+    Record* rec = FindRecord(key);
+    if (rec != nullptr && rec->lock_holder == txn) rec->lock_holder = 0;
+  }
 
   /// True if `key` is locked by a transaction other than `txn`.
-  bool IsLockedByOther(Key key, TxnId txn) const;
+  bool IsLockedByOther(Key key, TxnId txn) const {
+    const Record* rec = FindRecord(key);
+    return rec != nullptr && rec->lock_holder != 0 && rec->lock_holder != txn;
+  }
 
   /// Inserts a brand-new record (used by workload loaders / insert ops).
-  void Insert(Key key, Value value);
+  void Insert(Key key, Value value) { GetOrInsert(key) = Record{value, 1, 0}; }
 
-  bool Contains(Key key) const { return records_.count(key) > 0; }
+  bool Contains(Key key) const { return FindRecord(key) != nullptr; }
 
   /// Write-block flag used during remastering/migration: protocols consult
   /// this before issuing writes to the partition.
@@ -69,10 +104,78 @@ class PartitionStore {
   void set_write_blocked(bool blocked) { write_blocked_ = blocked; }
 
  private:
+  /// Open-addressing side table for keys outside the dense range. No erase
+  /// support (the store never deletes records), which keeps linear probing
+  /// correct without tombstones. The all-ones key doubles as the empty-slot
+  /// marker, so that one key is stored out of band (reserved_/has_reserved_)
+  /// rather than in a slot — every 64-bit key behaves correctly.
+  class SparseRecords {
+   public:
+    SparseRecords() : slots_(kMinCapacity), shift_(64 - kMinCapacityLog2) {}
+
+    const Record* Find(Key key) const {
+      if (key == kEmptyKey) return has_reserved_ ? &reserved_ : nullptr;
+      size_t i = IndexFor(key);
+      for (;;) {
+        const Slot& s = slots_[i];
+        if (s.key == key) return &s.rec;
+        if (s.key == kEmptyKey) return nullptr;
+        i = (i + 1) & (slots_.size() - 1);
+      }
+    }
+
+    Record* Find(Key key) {
+      return const_cast<Record*>(
+          static_cast<const SparseRecords*>(this)->Find(key));
+    }
+
+    Record& GetOrInsert(Key key);
+
+    size_t size() const { return size_ + (has_reserved_ ? 1 : 0); }
+
+   private:
+    friend class PartitionStore;
+    /// Empty-slot marker; the key with this value lives in reserved_.
+    static constexpr Key kEmptyKey = ~static_cast<Key>(0);
+    static constexpr size_t kMinCapacityLog2 = 6;
+    static constexpr size_t kMinCapacity = size_t{1} << kMinCapacityLog2;
+    struct Slot {
+      Key key = kEmptyKey;
+      Record rec;
+    };
+
+    size_t IndexFor(Key key) const {
+      // Fibonacci hashing: table ids live in the high bits of TPC-C keys,
+      // so masking raw keys would collide every same-id pair.
+      return static_cast<size_t>((key * 0x9E3779B97F4A7C15ull) >> shift_);
+    }
+    void Grow();
+
+    std::vector<Slot> slots_;  // size is always a power of two
+    int shift_;
+    size_t size_ = 0;
+    Record reserved_;  // the record for kEmptyKey itself, if ever inserted
+    bool has_reserved_ = false;
+  };
+
+  const Record* FindRecord(Key key) const {
+    if (key < dense_.size()) return &dense_[key];
+    return sparse_.Find(key);
+  }
+  Record* FindRecord(Key key) {
+    if (key < dense_.size()) return &dense_[key];
+    return sparse_.Find(key);
+  }
+  Record& GetOrInsert(Key key) {
+    if (key < dense_.size()) return dense_[key];
+    return sparse_.GetOrInsert(key);
+  }
+
   PartitionId id_;
   uint64_t record_bytes_;
   bool write_blocked_;
-  std::unordered_map<Key, Record> records_;
+  std::vector<Record> dense_;  // keys [0, dense_.size()), bulk-loaded
+  SparseRecords sparse_;       // everything else (TPC-C tables, inserts)
 };
 
 }  // namespace lion

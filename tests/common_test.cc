@@ -1,10 +1,15 @@
-// Unit tests for src/common: Status, Rng, ZipfianGenerator, Histogram.
+// Unit tests for src/common: Status, Rng, ZipfianGenerator, Histogram,
+// MoveFn (small-buffer optimization).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <map>
+#include <memory>
+#include <utility>
 
 #include "common/histogram.h"
+#include "common/move_fn.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -226,6 +231,113 @@ TEST(HistogramTest, LargeValues) {
   EXPECT_EQ(h.Max(), big);
   EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), static_cast<double>(big),
               static_cast<double>(big) * 0.07);
+}
+
+// --- MoveFn -----------------------------------------------------------------
+
+// Instance-counting functor used to verify that every target constructed
+// inside a MoveFn (including intermediates created by relocation) is
+// destroyed exactly once. Small enough for the inline buffer.
+struct Counted {
+  explicit Counted(int* live) : live(live) { ++*live; }
+  Counted(const Counted& o) : live(o.live) { ++*live; }
+  Counted(Counted&& o) noexcept : live(o.live) { ++*live; }
+  ~Counted() { --*live; }
+  int operator()() const { return 7; }
+  int* live;
+};
+
+TEST(MoveFnTest, SmallTargetStaysInline) {
+  int x = 5;
+  MoveFn<int()> fn([x]() { return x + 1; });
+  EXPECT_TRUE(fn.uses_inline_storage());
+  EXPECT_EQ(fn(), 6);
+}
+
+TEST(MoveFnTest, FatTargetFallsBackToHeap) {
+  unsigned char blob[MoveFn<int()>::kInlineBytes + 16];
+  std::memset(blob, 3, sizeof(blob));
+  MoveFn<int()> fn([blob]() { return static_cast<int>(blob[0]); });
+  EXPECT_FALSE(fn.uses_inline_storage());
+  EXPECT_EQ(fn(), 3);
+}
+
+TEST(MoveFnTest, MoveTransfersInlineTarget) {
+  auto owned = std::make_unique<int>(11);
+  MoveFn<int()> a([p = std::move(owned)]() { return *p; });
+  ASSERT_TRUE(a.uses_inline_storage());
+  MoveFn<int()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  EXPECT_EQ(b(), 11);
+}
+
+TEST(MoveFnTest, MoveTransfersHeapTarget) {
+  unsigned char blob[MoveFn<int()>::kInlineBytes + 16] = {42};
+  MoveFn<int()> a([blob]() { return static_cast<int>(blob[0]); });
+  ASSERT_FALSE(a.uses_inline_storage());
+  MoveFn<int()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_EQ(b(), 42);
+}
+
+TEST(MoveFnTest, MoveAssignmentDestroysPreviousTarget) {
+  int live_a = 0, live_b = 0;
+  MoveFn<int()> fn{Counted(&live_a)};
+  EXPECT_EQ(live_a, 1);
+  fn = MoveFn<int()>(Counted(&live_b));
+  EXPECT_EQ(live_a, 0);  // old target destroyed by the assignment
+  EXPECT_EQ(live_b, 1);
+  EXPECT_EQ(fn(), 7);
+}
+
+TEST(MoveFnTest, DestructionCountsBalanceForInlineTarget) {
+  int live = 0;
+  {
+    MoveFn<int()> a{Counted(&live)};
+    EXPECT_TRUE(a.uses_inline_storage());
+    EXPECT_GE(live, 1);
+    MoveFn<int()> b = std::move(a);
+    MoveFn<int()> c;
+    c = std::move(b);
+    EXPECT_EQ(c(), 7);
+    EXPECT_EQ(live, 1);  // exactly the one target survives the moves
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(MoveFnTest, DestructionCountsBalanceForHeapTarget) {
+  int live = 0;
+  struct FatCounted : Counted {
+    using Counted::Counted;
+    unsigned char pad[MoveFn<int()>::kInlineBytes] = {};
+  };
+  {
+    MoveFn<int()> a{FatCounted(&live)};
+    EXPECT_FALSE(a.uses_inline_storage());
+    MoveFn<int()> b = std::move(a);
+    EXPECT_EQ(b(), 7);
+    EXPECT_EQ(live, 1);  // heap relocation transfers the pointer, no copies
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(MoveFnTest, EmptyStates) {
+  MoveFn<void()> empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
+  EXPECT_FALSE(empty.uses_inline_storage());
+  MoveFn<void()> null_init(nullptr);
+  EXPECT_FALSE(static_cast<bool>(null_init));
+}
+
+TEST(MoveFnTest, ArgumentsAndReturnForwarded) {
+  MoveFn<int(int, int)> add([](int a, int b) { return a + b; });
+  EXPECT_EQ(add(2, 3), 5);
+  MoveFn<std::unique_ptr<int>(std::unique_ptr<int>)> pass(
+      [](std::unique_ptr<int> p) { return p; });
+  auto out = pass(std::make_unique<int>(9));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 9);
 }
 
 }  // namespace

@@ -1,9 +1,11 @@
-// Unit tests for the DES core: Simulator, Network, WorkerPool.
+// Unit tests for the DES core: Simulator, Network, WorkerPool,
+// PeriodicTimer.
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "sim/network.h"
+#include "sim/periodic_timer.h"
 #include "sim/simulator.h"
 #include "sim/worker_pool.h"
 
@@ -201,6 +203,82 @@ TEST(WorkerPoolTest, TaskChainingFromCallback) {
   });
   sim.RunUntilIdle();
   EXPECT_EQ(second_done, 30);
+}
+
+// --- PeriodicTimer ----------------------------------------------------------
+
+TEST(PeriodicTimerTest, TicksAtInterval) {
+  Simulator sim;
+  std::vector<SimTime> ticks;
+  PeriodicTimer timer(&sim, [&](SimTime now) { ticks.push_back(now); });
+  timer.Start(10);
+  sim.RunUntil(35);
+  EXPECT_EQ(ticks, (std::vector<SimTime>{10, 20, 30}));
+  EXPECT_TRUE(timer.running());
+}
+
+TEST(PeriodicTimerTest, TicksAreWeak) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(&sim, [&](SimTime) { ticks++; });
+  timer.Start(10);
+  // Weak-only queues do not keep RunUntilIdle alive.
+  sim.RunUntilIdle();
+  EXPECT_EQ(ticks, 0);
+  EXPECT_EQ(sim.Now(), 0);
+}
+
+TEST(PeriodicTimerTest, StopHaltsTheLoop) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(&sim, [&](SimTime) { ticks++; });
+  timer.Start(10);
+  sim.RunUntil(25);
+  EXPECT_EQ(ticks, 2);
+  timer.Stop();
+  EXPECT_FALSE(timer.running());
+  sim.RunUntil(100);
+  EXPECT_EQ(ticks, 2);  // the pending tick is consumed silently
+}
+
+TEST(PeriodicTimerTest, RestartReusesPendingTickWithoutDoubling) {
+  Simulator sim;
+  std::vector<SimTime> ticks;
+  PeriodicTimer timer(&sim, [&](SimTime now) { ticks.push_back(now); });
+  timer.Start(10);
+  sim.RunUntil(15);
+  ASSERT_EQ(ticks.size(), 1u);
+  // Stop and immediately resume while the t=20 tick is still pending: the
+  // chain continues at the original cadence, with no duplicate timers.
+  timer.Stop();
+  timer.Start(10);
+  sim.RunUntil(45);
+  EXPECT_EQ(ticks, (std::vector<SimTime>{10, 20, 30, 40}));
+}
+
+TEST(PeriodicTimerTest, StopAfterPendingTickConsumedThenRestart) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(&sim, [&](SimTime) { ticks++; });
+  timer.Start(10);
+  sim.RunUntil(12);
+  timer.Stop();
+  sim.RunUntil(50);  // t=20 tick fires, is consumed, loop disarms
+  EXPECT_EQ(ticks, 1);
+  timer.Start(10);
+  sim.RunUntil(75);  // fresh chain: ticks at 60 and 70
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(PeriodicTimerTest, CallbackMayStopItsOwnTimer) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(&sim, [&](SimTime) {
+    if (++ticks == 2) timer.Stop();
+  });
+  timer.Start(10);
+  sim.RunUntil(200);
+  EXPECT_EQ(ticks, 2);
 }
 
 }  // namespace

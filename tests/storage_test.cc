@@ -88,5 +88,58 @@ TEST(PartitionStoreTest, WriteBlockFlag) {
   EXPECT_FALSE(store.write_blocked());
 }
 
+TEST(PartitionStoreTest, SparseKeysBehaveLikeDenseOnes) {
+  PartitionStore store(0, 10, 100);
+  // TPC-C-shaped keys far outside the bulk-loaded range.
+  Key sparse = (Key{5} << 40) | 123;
+  EXPECT_FALSE(store.Contains(sparse));
+  EXPECT_EQ(store.VersionOf(sparse), 0u);
+  store.Insert(sparse, 7);
+  Value v = 0;
+  Version ver = 0;
+  ASSERT_TRUE(store.Read(sparse, &v, &ver).ok());
+  EXPECT_EQ(v, 7u);
+  EXPECT_EQ(ver, 1u);
+  store.Apply(sparse, 8);
+  EXPECT_EQ(store.VersionOf(sparse), 2u);
+  EXPECT_EQ(store.record_count(), 11u);
+}
+
+TEST(PartitionStoreTest, SparseTableSurvivesGrowth) {
+  PartitionStore store(0, 4, 100);
+  // Enough sparse inserts to force several table growths; same-id keys
+  // across different "tables" must not collide.
+  for (Key table = 1; table <= 8; ++table) {
+    for (Key id = 0; id < 200; ++id) {
+      store.Insert((table << 40) | id, table * 1000 + id);
+    }
+  }
+  for (Key table = 1; table <= 8; ++table) {
+    for (Key id = 0; id < 200; ++id) {
+      Value v = 0;
+      ASSERT_TRUE(store.Read((table << 40) | id, &v, nullptr).ok());
+      EXPECT_EQ(v, table * 1000 + id);
+    }
+  }
+  EXPECT_EQ(store.record_count(), 4u + 8 * 200);
+}
+
+TEST(PartitionStoreTest, AllOnesKeyIsAValidKey) {
+  // The open-addressing table uses ~0 as its empty-slot marker; the store
+  // must still treat it as an ordinary key.
+  PartitionStore store(0, 4, 100);
+  Key all_ones = ~Key{0};
+  EXPECT_FALSE(store.Contains(all_ones));
+  EXPECT_TRUE(store.Read(all_ones, nullptr, nullptr).IsNotFound());
+  EXPECT_TRUE(store.TryLock(all_ones, 9));
+  EXPECT_TRUE(store.IsLockedByOther(all_ones, 1));
+  store.Unlock(all_ones, 9);
+  store.Insert(all_ones, 42);
+  Value v = 0;
+  ASSERT_TRUE(store.Read(all_ones, &v, nullptr).ok());
+  EXPECT_EQ(v, 42u);
+  EXPECT_EQ(store.record_count(), 5u);
+}
+
 }  // namespace
 }  // namespace lion
