@@ -1,7 +1,7 @@
 // Shared entry point for the per-figure benchmark binaries.
 //
 // Each binary declares its sweep as a vector of labeled grid points
-// (SweepSpec) and delegates to bench::SweepMain, which runs the grid
+// (PointSpec) and delegates to bench::SweepMain, which runs the grid
 // through SweepRunner (multi-threaded, deterministic merge), prints one
 // summary line per point in declaration order, then runs each point's
 // optional `on_done` hook (time-series printing) in the same order.
@@ -9,8 +9,17 @@
 // Flags accepted by every figure binary:
 //   --filter=SUBSTR   run only points whose name contains SUBSTR
 //   --threads=N       sweep pool size (default: hardware_concurrency)
+//   --repeat=N        run each point N times with derived seeds and report
+//                     per-metric medians (+ min/max); on_done hooks observe
+//                     each point's first (base-seed) run and the merged
+//                     JSON keeps every individual run
+//   --sweep=FILE      replace the compiled-in grid with a JSON sweep spec
+//                     (see harness/sweep_spec.h and examples/configs/)
 //   --json=PATH       also write the merged sweep JSON document to PATH
 //   --list            print point names and exit
+//
+// While running, a [k/n done, ~Ns left] progress line updates on stderr
+// when it is a TTY (suppressed under --json and in redirected logs).
 //
 // Environment: LION_BENCH_FAST=1 halves warmup/duration for smoke runs.
 #pragma once
@@ -25,7 +34,9 @@
 
 #include "harness/experiment.h"
 #include "harness/registry.h"
+#include "harness/sweep_cli.h"
 #include "harness/sweep_runner.h"
+#include "harness/sweep_spec.h"
 
 namespace lion {
 namespace bench {
@@ -100,7 +111,7 @@ inline std::vector<ProtocolEntry> BatchProtocols() {
 /// One labeled grid point plus an optional ordered post-run hook (series
 /// printing and other per-point reporting run after the whole sweep, in
 /// declaration order, so multi-threaded output stays deterministic).
-struct SweepSpec {
+struct PointSpec {
   std::string name;
   ExperimentConfig config;
   std::function<void(const SweepOutcome&)> on_done;
@@ -118,13 +129,15 @@ inline void PrintSeries(const std::string& tag, const ExperimentResult& res) {
 }
 
 /// Shared main(): flag parsing, filtered SweepRunner execution, ordered
-/// reporting, optional merged-JSON emission. Returns the process exit code
-/// (1 if any point failed to build/run).
+/// reporting with optional --repeat medians, optional merged-JSON emission.
+/// Returns the process exit code (1 if any point failed to build/run).
 inline int SweepMain(int argc, char** argv, const char* title,
-                     std::vector<SweepSpec> specs) {
+                     std::vector<PointSpec> specs) {
   std::string filter;
   std::string json_path;
+  std::string sweep_path;
   int threads = 0;  // 0 = hardware_concurrency
+  int repeat = 1;
   bool list_only = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -133,6 +146,14 @@ inline int SweepMain(int argc, char** argv, const char* title,
       filter = a + 9;
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
       threads = std::atoi(a + 10);
+    } else if (std::strncmp(a, "--repeat=", 9) == 0) {
+      repeat = std::atoi(a + 9);
+      if (repeat < 1) {
+        std::fprintf(stderr, "--repeat must be >= 1\n");
+        return 1;
+      }
+    } else if (std::strncmp(a, "--sweep=", 8) == 0) {
+      sweep_path = a + 8;
     } else if (std::strncmp(a, "--json=", 7) == 0) {
       json_path = a + 7;
     } else if (std::strcmp(a, "--list") == 0) {
@@ -140,16 +161,32 @@ inline int SweepMain(int argc, char** argv, const char* title,
     } else {
       std::fprintf(stderr,
                    "unknown flag: %s\n"
-                   "usage: %s [--filter=SUBSTR] [--threads=N] [--json=PATH] "
-                   "[--list]\n",
+                   "usage: %s [--filter=SUBSTR] [--threads=N] [--repeat=N] "
+                   "[--sweep=FILE] [--json=PATH] [--list]\n",
                    a, argv[0]);
       return 1;
     }
   }
 
+  if (!sweep_path.empty()) {
+    // A JSON grid replaces the compiled-in points (and their on_done
+    // hooks): the same runner front end, config declared in the file.
+    std::vector<SweepPoint> points;
+    Status s = LoadSweepFile(sweep_path, &points);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    specs.clear();
+    for (SweepPoint& p : points) {
+      specs.push_back(PointSpec{std::move(p.name), std::move(p.config),
+                                nullptr});
+    }
+  }
+
   if (!filter.empty()) {
-    std::vector<SweepSpec> kept;
-    for (SweepSpec& s : specs) {
+    std::vector<PointSpec> kept;
+    for (PointSpec& s : specs) {
       if (s.name.find(filter) != std::string::npos) {
         kept.push_back(std::move(s));
       }
@@ -158,7 +195,7 @@ inline int SweepMain(int argc, char** argv, const char* title,
   }
 
   if (list_only) {
-    for (const SweepSpec& s : specs) std::printf("%s\n", s.name.c_str());
+    for (const PointSpec& s : specs) std::printf("%s\n", s.name.c_str());
     return 0;
   }
   if (specs.empty()) {
@@ -167,39 +204,32 @@ inline int SweepMain(int argc, char** argv, const char* title,
     return 1;
   }
 
-  std::printf("%s — %zu points%s\n", title, specs.size(),
+  std::printf("%s — %zu points%s%s\n", title, specs.size(),
+              repeat > 1 ? " (median of repeats)" : "",
               FastMode() ? " (fast mode)" : "");
+
+  std::vector<SweepPoint> points;
+  points.reserve(specs.size());
+  for (const PointSpec& s : specs) {
+    points.push_back(SweepPoint{s.name, s.config});
+  }
+  points = ExpandRepeat(std::move(points), repeat);
 
   SweepOptions options;
   options.threads = threads;
-  options.on_progress = [](size_t done, size_t total, const SweepOutcome& o) {
-    std::fprintf(stderr, "[%zu/%zu] %s %s\n", done, total, o.name.c_str(),
-                 o.status.ok() ? "done" : o.status.ToString().c_str());
-  };
+  options.on_progress =
+      MakeSweepProgress(StderrIsTty() && json_path.empty(), points.size());
   SweepRunner runner(options);
-  for (const SweepSpec& s : specs) runner.Add(s.name, s.config);
+  for (SweepPoint& p : points) runner.Add(std::move(p));
   std::vector<SweepOutcome> outcomes = runner.Run();
 
-  bool any_failed = false;
-  for (size_t i = 0; i < outcomes.size(); ++i) {
-    const SweepOutcome& o = outcomes[i];
-    if (!o.status.ok()) {
-      any_failed = true;
-      std::printf("%s: %s\n", o.name.c_str(), o.status.ToString().c_str());
-      continue;
-    }
-    const ExperimentResult& r = o.result;
-    double dist_pct =
-        r.committed > 0
-            ? 100.0 * static_cast<double>(r.distributed) / r.committed
-            : 0.0;
-    std::printf("%s: ktxn/s=%.1f p50_us=%.0f p95_us=%.0f dist_pct=%.1f\n",
-                o.name.c_str(), r.throughput / 1000.0, r.p50_us, r.p95_us,
-                dist_pct);
-  }
-  for (size_t i = 0; i < outcomes.size(); ++i) {
-    if (specs[i].on_done && outcomes[i].status.ok()) {
-      specs[i].on_done(outcomes[i]);
+  bool all_ok = PrintSweepSummaries(stdout, outcomes, repeat);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    // Each point's first run carries the base seed, so under --repeat the
+    // hook observes exactly what a --repeat=1 run would have produced.
+    size_t first_run = i * static_cast<size_t>(repeat);
+    if (specs[i].on_done && outcomes[first_run].status.ok()) {
+      specs[i].on_done(outcomes[first_run]);
     }
   }
 
@@ -215,7 +245,7 @@ inline int SweepMain(int argc, char** argv, const char* title,
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return any_failed ? 1 : 0;
+  return all_ok ? 0 : 1;
 }
 
 }  // namespace bench

@@ -7,7 +7,7 @@
 namespace lion {
 namespace {
 
-bench::SweepSpec MakeSpec(const bench::ProtocolEntry& p, const char* fig,
+bench::PointSpec MakeSpec(const bench::ProtocolEntry& p, const char* fig,
                           const std::string& workload) {
   ExperimentConfig cfg = bench::EvalConfig(p.factory);
   cfg.workload = workload;
@@ -18,13 +18,13 @@ bench::SweepSpec MakeSpec(const bench::ProtocolEntry& p, const char* fig,
   cfg.duration = 2 * phases * cfg.dynamic_period;
   std::string name = std::string(fig) + "/" + p.label;
   std::string tag = std::string("Fig10/") + workload + "/" + p.label + ":";
-  return bench::SweepSpec{name, cfg, [tag](const SweepOutcome& o) {
+  return bench::PointSpec{name, cfg, [tag](const SweepOutcome& o) {
                             bench::PrintSeries(tag, o.result);
                           }};
 }
 
-std::vector<bench::SweepSpec> BuildSweep() {
-  std::vector<bench::SweepSpec> specs;
+std::vector<bench::PointSpec> BuildSweep() {
+  std::vector<bench::PointSpec> specs;
   for (const bench::ProtocolEntry& p : bench::BatchProtocols()) {
     specs.push_back(MakeSpec(p, "Fig10a/interval", "ycsb-hotspot-interval"));
     specs.push_back(MakeSpec(p, "Fig10b/position", "ycsb-hotspot-position"));

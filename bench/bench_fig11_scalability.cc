@@ -10,7 +10,7 @@ namespace {
 
 const int kNodes[] = {4, 6, 8, 10};
 
-void AddEntries(std::vector<bench::SweepSpec>* specs, const char* fig,
+void AddEntries(std::vector<bench::PointSpec>* specs, const char* fig,
                 const std::vector<bench::ProtocolEntry>& protocols,
                 bool batch) {
   for (const bench::ProtocolEntry& p : protocols) {
@@ -24,15 +24,15 @@ void AddEntries(std::vector<bench::SweepSpec>* specs, const char* fig,
       // ceiling at 10 nodes (the default 4000 outstanding caps visibility
       // at 400k/s).
       if (batch) cfg.concurrency = 16000;
-      specs->push_back(bench::SweepSpec{
+      specs->push_back(bench::PointSpec{
           std::string(fig) + "/" + p.label + "/nodes=" + std::to_string(nodes),
           cfg, nullptr});
     }
   }
 }
 
-std::vector<bench::SweepSpec> BuildSweep() {
-  std::vector<bench::SweepSpec> specs;
+std::vector<bench::PointSpec> BuildSweep() {
+  std::vector<bench::PointSpec> specs;
   AddEntries(&specs, "Fig11a", bench::StandardProtocols(), /*batch=*/false);
   AddEntries(&specs, "Fig11b", bench::BatchProtocols(), /*batch=*/true);
   return specs;

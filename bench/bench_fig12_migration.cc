@@ -23,14 +23,14 @@ void PrintMigrationReport(const SweepOutcome& o) {
               res.migrated_bytes / (1024.0 * 1024.0));
 }
 
-std::vector<bench::SweepSpec> BuildSweep() {
+std::vector<bench::PointSpec> BuildSweep() {
   ExperimentConfig cfg = bench::EvalConfig("Lion");
   cfg.workload = "ycsb-hotspot-interval";
   cfg.dynamic_period = bench::FastMode() ? 1500 * kMillisecond : 3 * kSecond;
   cfg.warmup = 0;
   cfg.duration = 3 * cfg.dynamic_period;  // one shift mid-run
   cfg.predictor.gamma = 0.05;             // eager pre-replication
-  return {bench::SweepSpec{"Fig12/Lion/migration-analysis", cfg,
+  return {bench::PointSpec{"Fig12/Lion/migration-analysis", cfg,
                            PrintMigrationReport}};
 }
 

@@ -11,7 +11,7 @@
 namespace lion {
 namespace {
 
-bench::SweepSpec PredictorSpec(bool with_predictor) {
+bench::PointSpec PredictorSpec(bool with_predictor) {
   ExperimentConfig cfg =
       bench::EvalConfig(with_predictor ? "Lion(RW)" : "Lion(R)");
   cfg.workload = "ycsb-hotspot-interval";
@@ -23,14 +23,14 @@ bench::SweepSpec PredictorSpec(bool with_predictor) {
   std::string name =
       std::string("Fig13a/") + (with_predictor ? "WithPredictor" : "Baseline");
   std::string tag = name + ":";
-  return bench::SweepSpec{name, cfg, [tag](const SweepOutcome& o) {
+  return bench::PointSpec{name, cfg, [tag](const SweepOutcome& o) {
                             bench::PrintSeries(tag, o.result);
                           }};
 }
 
 const int kRemasterUs[] = {500, 1500, 2000, 3000, 3500};
 
-bench::SweepSpec RemasterSpec(bool batch, int remaster_us) {
+bench::PointSpec RemasterSpec(bool batch, int remaster_us) {
   ExperimentConfig cfg = bench::EvalConfig(batch ? "Lion(RB)" : "Lion(R)");
   // A fast-rotating hotspot keeps remastering on the critical path: every
   // rotation triggers a wave of conversions whose cost scales with the
@@ -43,14 +43,14 @@ bench::SweepSpec RemasterSpec(bool batch, int remaster_us) {
   cfg.lion.planner.interval = 125 * kMillisecond;
   cfg.cluster.remaster_base_delay = remaster_us * kMicrosecond;
   if (batch) cfg.concurrency = 8000;  // avoid the client-window ceiling
-  return bench::SweepSpec{std::string("Fig13b/") +
+  return bench::PointSpec{std::string("Fig13b/") +
                               (batch ? "Batch" : "NonBatch") +
                               "/remaster_us=" + std::to_string(remaster_us),
                           cfg, nullptr};
 }
 
-std::vector<bench::SweepSpec> BuildSweep() {
-  std::vector<bench::SweepSpec> specs;
+std::vector<bench::PointSpec> BuildSweep() {
+  std::vector<bench::PointSpec> specs;
   specs.push_back(PredictorSpec(false));
   specs.push_back(PredictorSpec(true));
   for (int batch = 0; batch < 2; ++batch) {

@@ -35,8 +35,8 @@ void PrintLatencyReport(const std::string& label, const SweepOutcome& o) {
       bd.commit / denom, bd.replication / denom, other / denom);
 }
 
-std::vector<bench::SweepSpec> BuildSweep() {
-  std::vector<bench::SweepSpec> specs;
+std::vector<bench::PointSpec> BuildSweep() {
+  std::vector<bench::PointSpec> specs;
   for (const bench::ProtocolEntry& p : bench::BatchProtocols()) {
     ExperimentConfig cfg = bench::EvalConfig(p.factory);
     cfg.workload = "ycsb";
@@ -48,7 +48,7 @@ std::vector<bench::SweepSpec> BuildSweep() {
     cfg.cluster.epoch_interval = 1 * kMillisecond;
     cfg.concurrency = 512;
     std::string label = p.label;
-    specs.push_back(bench::SweepSpec{std::string("Fig14/") + label, cfg,
+    specs.push_back(bench::PointSpec{std::string("Fig14/") + label, cfg,
                                      [label](const SweepOutcome& o) {
                                        PrintLatencyReport(label, o);
                                      }});

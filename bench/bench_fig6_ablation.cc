@@ -28,8 +28,8 @@ const Variant kVariants[] = {
 };
 const int kRatios[] = {0, 20, 50, 80, 100};
 
-std::vector<bench::SweepSpec> BuildSweep() {
-  std::vector<bench::SweepSpec> specs;
+std::vector<bench::PointSpec> BuildSweep() {
+  std::vector<bench::PointSpec> specs;
   for (const Variant& v : kVariants) {
     for (int ratio : kRatios) {
       ExperimentConfig cfg = bench::EvalConfig(v.factory);
@@ -45,7 +45,7 @@ std::vector<bench::SweepSpec> BuildSweep() {
       if (ProtocolRegistry::Global().IsBatch(v.factory)) {
         cfg.concurrency = 16000;
       }
-      specs.push_back(bench::SweepSpec{
+      specs.push_back(bench::PointSpec{
           std::string("Fig6/") + v.label + "/cross=" + std::to_string(ratio),
           cfg, nullptr});
     }

@@ -10,8 +10,8 @@ namespace {
 
 const int kRatios[] = {0, 20, 50, 80, 100};
 
-std::vector<bench::SweepSpec> BuildSweep() {
-  std::vector<bench::SweepSpec> specs;
+std::vector<bench::PointSpec> BuildSweep() {
+  std::vector<bench::PointSpec> specs;
   for (const bench::ProtocolEntry& p : bench::BatchProtocols()) {
     for (int ratio : kRatios) {
       ExperimentConfig ycsb = bench::EvalConfig(p.factory);
@@ -19,7 +19,7 @@ std::vector<bench::SweepSpec> BuildSweep() {
       ycsb.workload = "ycsb";
       ycsb.ycsb.cross_ratio = ratio / 100.0;
       ycsb.ycsb.skew_factor = 0.8;
-      specs.push_back(bench::SweepSpec{
+      specs.push_back(bench::PointSpec{
           std::string("Fig9a/") + p.label + "/cross=" + std::to_string(ratio),
           ycsb, nullptr});
 
@@ -29,7 +29,7 @@ std::vector<bench::SweepSpec> BuildSweep() {
       tpcc.workload = "tpcc";
       tpcc.tpcc.remote_ratio = ratio / 100.0;
       tpcc.tpcc.skew_factor = 0.8;
-      specs.push_back(bench::SweepSpec{
+      specs.push_back(bench::PointSpec{
           std::string("Fig9b/") + p.label + "/cross=" + std::to_string(ratio),
           tpcc, nullptr});
     }

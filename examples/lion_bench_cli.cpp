@@ -1,30 +1,33 @@
 // Command-line experiment runner: compose any protocol x workload x cluster
-// configuration without writing code. Protocols and workloads are
-// enumerated live from the registries, so anything linked in is runnable.
+// configuration without writing code. The entire flag surface is derived
+// from the config schema (harness/config_schema.h) — every declared field
+// is settable as --<dotted.path>=<value>, configs load from JSON files, and
+// JSON sweep grids run through the multi-threaded SweepRunner. There are no
+// hand-rolled per-field flag cases here.
 //
 // Usage examples:
-//   lion_bench_cli --protocol=Lion --workload=ycsb --cross=0.8 --skew=0.8
-//   lion_bench_cli --protocol=Calvin --workload=tpcc --nodes=8 --duration=5
-//   lion_bench_cli --protocol=Lion --workload=ycsb-hotspot-position --series
+//   lion_bench_cli --protocol=Lion --workload=ycsb --ycsb.cross_ratio=0.8
+//   lion_bench_cli --config=examples/configs/quickstart.json --json
+//   lion_bench_cli --config=exp.json --lion.planner.interval_ms=250
+//   lion_bench_cli --sweep=examples/configs/fig7_cross_ratio.json --repeat=3
+//   lion_bench_cli --flags          # the full derived flag listing
 //   lion_bench_cli --list
-//   lion_bench_cli --json
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "harness/config_schema.h"
 #include "harness/experiment.h"
+#include "harness/sweep_cli.h"
+#include "harness/sweep_spec.h"
 
 using namespace lion;
 
 namespace {
-
-bool ParseFlag(const char* arg, const char* name, std::string* out) {
-  std::string prefix = std::string("--") + name + "=";
-  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
-  *out = arg + prefix.size();
-  return true;
-}
 
 void PrintRegistries() {
   std::printf("protocols:");
@@ -41,73 +44,175 @@ void PrintRegistries() {
 
 void PrintUsage() {
   std::printf(
-      "lion_bench_cli — run one simulated experiment\n\n"
-      "  --protocol=NAME    (default Lion)\n"
-      "  --workload=NAME    (default ycsb)\n"
-      "  --nodes=N          executor nodes (default 4)\n"
-      "  --cross=F          YCSB cross-partition ratio 0..1 / TPC-C remote ratio\n"
-      "  --skew=F           skew factor 0..1 (default 0)\n"
-      "  --duration=SECS    measured seconds (default 2)\n"
-      "  --warmup=SECS      warmup seconds (default 1)\n"
-      "  --remaster-us=N    remastering delay (default 3000)\n"
-      "  --seed=N           RNG seed (default 1)\n"
+      "lion_bench_cli — run simulated experiments from the config schema\n\n"
+      "single run:\n"
+      "  --config=FILE      load an ExperimentConfig JSON file\n"
+      "  --KEY=VALUE        set any schema field by dotted path, e.g.\n"
+      "                     --protocol=Calvin --ycsb.cross_ratio=0.5\n"
+      "                     --duration_s=2 --cluster.num_nodes=8\n"
+      "                     (applied after --config, in command order)\n"
       "  --series           also print the throughput time series\n"
       "  --json             emit the full result as one JSON object\n"
-      "  --list             list registered protocols and workloads\n");
+      "  --print-config     print the effective config JSON and exit\n\n"
+      "sweep (grid file; see examples/configs/):\n"
+      "  --sweep=FILE       expand a JSON axis grid and run every point\n"
+      "  --filter=SUBSTR    run only points whose name contains SUBSTR\n"
+      "  --threads=N        sweep pool size (default hardware_concurrency)\n"
+      "  --repeat=N         run each point N times with derived seeds and\n"
+      "                     report per-metric medians (+ min/max)\n"
+      "  --json             emit the merged sweep JSON instead of summaries\n\n"
+      "discovery:\n"
+      "  --list             registered protocols and workloads\n"
+      "  --flags            every derived --KEY flag with its description\n"
+      "  --help             this text\n");
+}
+
+void PrintFlags() {
+  std::vector<std::pair<std::string, std::string>> paths;
+  ExperimentConfigSchema().ListPaths("", &paths);
+  size_t width = 0;
+  for (const auto& p : paths) width = std::max(width, p.first.size());
+  for (const auto& p : paths) {
+    std::printf("  --%-*s  %s\n", static_cast<int>(width), p.first.c_str(),
+                p.second.c_str());
+  }
+}
+
+int RunSweep(const std::string& sweep_path, const std::string& filter,
+             int threads, int repeat, bool json) {
+  std::vector<SweepPoint> points;
+  Status s = LoadSweepFile(sweep_path, &points);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (!filter.empty()) {
+    std::vector<SweepPoint> kept;
+    for (SweepPoint& p : points) {
+      if (p.name.find(filter) != std::string::npos)
+        kept.push_back(std::move(p));
+    }
+    points = std::move(kept);
+    if (points.empty()) {
+      std::fprintf(stderr, "no sweep points match --filter=%s\n",
+                   filter.c_str());
+      return 1;
+    }
+  }
+  points = ExpandRepeat(std::move(points), repeat);
+
+  SweepOptions options;
+  options.threads = threads;
+  options.on_progress = MakeSweepProgress(StderrIsTty() && !json,
+                                          points.size());
+  SweepRunner runner(options);
+  for (SweepPoint& p : points) runner.Add(std::move(p));
+  std::vector<SweepOutcome> outcomes = runner.Run();
+
+  if (json) {
+    std::printf("%s\n", SweepRunner::MergeJson(outcomes).c_str());
+    bool all_ok = true;
+    for (const SweepOutcome& o : outcomes) all_ok &= o.status.ok();
+    return all_ok ? 0 : 1;
+  }
+  return PrintSweepSummaries(stdout, outcomes, repeat) ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  ExperimentConfig cfg;
-  cfg.protocol = "Lion";
-  cfg.workload = "ycsb";
-  cfg.warmup = 1 * kSecond;
-  cfg.duration = 2 * kSecond;
-  cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
+  std::string config_path;
+  std::string sweep_path;
+  std::string filter;
+  // Dotted-path overrides in command order; applied after --config so flags
+  // refine a file-loaded base.
+  std::vector<std::pair<std::string, std::string>> overrides;
+  int threads = 0;
+  int repeat = 1;
   bool series = false;
   bool json = false;
+  bool print_config = false;
 
   for (int i = 1; i < argc; ++i) {
-    std::string v;
-    if (std::strcmp(argv[i], "--list") == 0) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--list") == 0) {
       PrintRegistries();
       return 0;
-    } else if (std::strcmp(argv[i], "--series") == 0) {
-      series = true;
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
-    } else if (std::strcmp(argv[i], "--help") == 0) {
+    } else if (std::strcmp(a, "--flags") == 0) {
+      PrintFlags();
+      return 0;
+    } else if (std::strcmp(a, "--help") == 0) {
       PrintUsage();
       return 0;
-    } else if (ParseFlag(argv[i], "protocol", &v)) {
-      cfg.protocol = v;
-    } else if (ParseFlag(argv[i], "workload", &v)) {
-      cfg.workload = v;
-    } else if (ParseFlag(argv[i], "nodes", &v)) {
-      cfg.cluster.num_nodes = std::atoi(v.c_str());
-    } else if (ParseFlag(argv[i], "cross", &v)) {
-      cfg.ycsb.cross_ratio = std::atof(v.c_str());
-      cfg.tpcc.remote_ratio = std::atof(v.c_str());
-    } else if (ParseFlag(argv[i], "skew", &v)) {
-      cfg.ycsb.skew_factor = std::atof(v.c_str());
-      cfg.tpcc.skew_factor = std::atof(v.c_str());
-    } else if (ParseFlag(argv[i], "duration", &v)) {
-      cfg.duration = static_cast<SimTime>(std::atof(v.c_str()) * kSecond);
-    } else if (ParseFlag(argv[i], "warmup", &v)) {
-      cfg.warmup = static_cast<SimTime>(std::atof(v.c_str()) * kSecond);
-    } else if (ParseFlag(argv[i], "remaster-us", &v)) {
-      cfg.cluster.remaster_base_delay = std::atoi(v.c_str()) * kMicrosecond;
-    } else if (ParseFlag(argv[i], "seed", &v)) {
-      cfg.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (std::strcmp(a, "--series") == 0) {
+      series = true;
+    } else if (std::strcmp(a, "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(a, "--print-config") == 0) {
+      print_config = true;
+    } else if (std::strncmp(a, "--config=", 9) == 0) {
+      config_path = a + 9;
+    } else if (std::strncmp(a, "--sweep=", 8) == 0) {
+      sweep_path = a + 8;
+    } else if (std::strncmp(a, "--filter=", 9) == 0) {
+      filter = a + 9;
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      threads = std::atoi(a + 10);
+    } else if (std::strncmp(a, "--repeat=", 9) == 0) {
+      repeat = std::atoi(a + 9);
+      if (repeat < 1) {
+        std::fprintf(stderr, "--repeat must be >= 1\n");
+        return 1;
+      }
+    } else if (std::strncmp(a, "--", 2) == 0 &&
+               std::strchr(a + 2, '=') != nullptr) {
+      const char* eq = std::strchr(a + 2, '=');
+      overrides.emplace_back(std::string(a + 2, eq), std::string(eq + 1));
     } else {
-      std::fprintf(stderr, "unknown flag: %s\n\n", argv[i]);
-      PrintUsage();
+      std::fprintf(stderr, "unknown flag: %s (see --help, --flags)\n", a);
       return 1;
     }
   }
 
-  if (cfg.workload == "tpcc") cfg.cluster.partitions_per_node = 4;
+  if (!sweep_path.empty()) {
+    if (!overrides.empty() || !config_path.empty() || series ||
+        print_config) {
+      std::fprintf(stderr,
+                   "--sweep runs the grid file as-is; --config, --series and "
+                   "--KEY overrides apply to single runs only\n");
+      return 1;
+    }
+    return RunSweep(sweep_path, filter, threads, repeat, json);
+  }
+  if (repeat != 1 || threads != 0 || !filter.empty()) {
+    std::fprintf(stderr,
+                 "--repeat/--threads/--filter apply to --sweep runs only\n");
+    return 1;
+  }
+
+  ExperimentConfig cfg;
+  if (!config_path.empty()) {
+    Json doc;
+    Status s = Json::ParseFile(config_path, &doc);
+    if (s.ok()) s = ParseExperimentConfig(doc, &cfg);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  for (const auto& kv : overrides) {
+    Status s = SetExperimentFlag(&cfg, kv.first, kv.second);
+    if (!s.ok()) {
+      std::fprintf(stderr, "--%s=%s: %s\n", kv.first.c_str(),
+                   kv.second.c_str(), s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (print_config) {
+    std::printf("%s\n", EmitExperimentConfig(cfg).Dump().c_str());
+    return 0;
+  }
 
   ExperimentResult res;
   Status status = ExperimentBuilder(cfg).Run(&res);
@@ -119,7 +224,7 @@ int main(int argc, char** argv) {
   if (res.committed == 0) {
     std::fprintf(stderr,
                  "no transactions committed — run too short for this "
-                 "protocol/workload (try a longer --duration)\n");
+                 "protocol/workload (try a longer --duration_s)\n");
     return 1;
   }
 

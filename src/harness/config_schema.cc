@@ -1,0 +1,552 @@
+#include "harness/config_schema.h"
+
+#include <cstdio>
+
+#include "harness/experiment_config.h"
+
+namespace lion {
+
+std::string JoinFieldPath(const std::string& prefix, const std::string& name) {
+  return prefix.empty() ? name : prefix + "." + name;
+}
+
+namespace check {
+
+std::string FormatNumber(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace check
+
+// --- ConfigSchema core ------------------------------------------------------
+
+const ConfigFieldSpec* ConfigSchema::FindField(const std::string& name) const {
+  for (const ConfigFieldSpec& f : fields_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Status ConfigSchema::ParseAt(const Json& v, void* obj,
+                             const std::string& path) const {
+  if (!v.is_object()) {
+    std::string where = path.empty() ? struct_name_ : path;
+    return Status::InvalidArgument(where + ": expected object, got " +
+                                   JsonTypeName(v.type()));
+  }
+  for (const Json::Member& m : v.members()) {
+    const ConfigFieldSpec* field = FindField(m.first);
+    std::string field_path = JoinFieldPath(path, m.first);
+    if (field == nullptr) {
+      return Status::InvalidArgument(field_path + ": unknown field in " +
+                                     struct_name_);
+    }
+    if (field->nested != nullptr) {
+      Status s = field->nested->ParseAt(m.second, field->member(obj),
+                                        field_path);
+      if (!s.ok()) return s;
+    } else {
+      Status s = field->parse(obj, m.second, field_path);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::OK();
+}
+
+Json ConfigSchema::EmitJson(const void* obj) const {
+  Json out = Json::Object();
+  for (const ConfigFieldSpec& f : fields_) {
+    if (f.nested != nullptr) {
+      out.Set(f.name, f.nested->EmitJson(f.cmember(obj)));
+    } else {
+      out.Set(f.name, f.emit(obj));
+    }
+  }
+  return out;
+}
+
+Status ConfigSchema::ValidateAt(const void* obj,
+                                const std::string& path) const {
+  for (const ConfigFieldSpec& f : fields_) {
+    std::string field_path = JoinFieldPath(path, f.name);
+    if (f.nested != nullptr) {
+      Status s = f.nested->ValidateAt(f.cmember(obj), field_path);
+      if (!s.ok()) return s;
+    } else if (f.check) {
+      Status s = f.check(obj, field_path);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status ConfigSchema::SetJsonAtPath(void* obj, const std::string& dotted,
+                                   const Json& v,
+                                   const std::string& prefix) const {
+  size_t dot = dotted.find('.');
+  std::string head = dotted.substr(0, dot);
+  std::string head_path = JoinFieldPath(prefix, head);
+  const ConfigFieldSpec* field = FindField(head);
+  if (field == nullptr) {
+    return Status::InvalidArgument(head_path + ": unknown field in " +
+                                   struct_name_);
+  }
+  if (dot == std::string::npos) {
+    if (field->nested != nullptr) {
+      // A whole nested struct may be assigned from a JSON object value.
+      return field->nested->ParseAt(v, field->member(obj), head_path);
+    }
+    return field->parse(obj, v, head_path);
+  }
+  if (field->nested == nullptr) {
+    return Status::InvalidArgument(head_path +
+                                   " is a scalar, not a struct (in " +
+                                   struct_name_ + ")");
+  }
+  return field->nested->SetJsonAtPath(field->member(obj),
+                                      dotted.substr(dot + 1), v, head_path);
+}
+
+Status ConfigSchema::SetJsonByPath(void* obj, const std::string& dotted,
+                                   const Json& v) const {
+  return SetJsonAtPath(obj, dotted, v, "");
+}
+
+Status ConfigSchema::SetByPath(void* obj, const std::string& dotted,
+                               const std::string& value) const {
+  // A value that parses as a JSON scalar is used as such ("5", "0.25",
+  // "true"); everything else — protocol names, enum values — is a string.
+  Json parsed;
+  bool is_json_scalar =
+      Json::Parse(value, &parsed).ok() &&
+      (parsed.is_number() || parsed.is_bool() || parsed.is_null() ||
+       parsed.is_string());
+  if (!is_json_scalar) parsed = Json::Str(value);
+  Status s = SetJsonByPath(obj, dotted, parsed);
+  if (!s.ok() && parsed.is_number()) {
+    // "--workload=2pc"-style values lex as garbage numbers for string
+    // fields; retry verbatim before reporting the original error.
+    Status retry = SetJsonByPath(obj, dotted, Json::Str(value));
+    if (retry.ok()) return retry;
+  }
+  return s;
+}
+
+void ConfigSchema::ListPaths(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, std::string>>* out) const {
+  for (const ConfigFieldSpec& f : fields_) {
+    std::string path = JoinFieldPath(prefix, f.name);
+    if (f.nested != nullptr) {
+      f.nested->ListPaths(path, out);
+    } else {
+      out->emplace_back(std::move(path), f.help);
+    }
+  }
+}
+
+// --- schema declarations (the single source of truth per struct) ------------
+
+const ConfigSchema& NetworkConfigSchema() {
+  static const ConfigSchema schema = [] {
+    ConfigSchemaBuilder<NetworkConfig> b("NetworkConfig");
+    b.Time("one_way_latency_us", &NetworkConfig::one_way_latency, kMicrosecond,
+           "one-way propagation + stack latency per remote message",
+           check::NonNegative<SimTime>());
+    b.Field("bandwidth_bytes_per_sec", &NetworkConfig::bandwidth_bytes_per_sec,
+            "link bandwidth in bytes per second",
+            check::Positive<double>());
+    b.Time("local_latency_us", &NetworkConfig::local_latency, kMicrosecond,
+           "loopback (same node) message latency",
+           check::NonNegative<SimTime>());
+    b.Time("stats_window_ms", &NetworkConfig::stats_window, kMillisecond,
+           "width of the bytes/messages accounting windows",
+           check::Positive<SimTime>());
+    return std::move(b).Build();
+  }();
+  return schema;
+}
+
+const ConfigSchema& ClusterConfigSchema() {
+  static const ConfigSchema schema = [] {
+    ConfigSchemaBuilder<ClusterConfig> b("ClusterConfig");
+    b.Field("num_nodes", &ClusterConfig::num_nodes, "executor nodes",
+            check::AtLeast<int>(1));
+    b.Field("workers_per_node", &ClusterConfig::workers_per_node,
+            "worker threads per node", check::AtLeast<int>(1));
+    b.Field("partitions_per_node", &ClusterConfig::partitions_per_node,
+            "initial partitions per node", check::AtLeast<int>(1));
+    b.Field("records_per_partition", &ClusterConfig::records_per_partition,
+            "bulk-loaded records per partition");
+    b.Field("record_bytes", &ClusterConfig::record_bytes,
+            "logical record size for byte accounting",
+            check::AtLeast<uint64_t>(1));
+    b.Field("init_replicas", &ClusterConfig::init_replicas,
+            "initial replicas per partition", check::AtLeast<int>(1));
+    b.Field("max_replicas", &ClusterConfig::max_replicas,
+            "replica cap per partition before eviction",
+            check::AtLeast<int>(1));
+    // Zero-period timers self-reschedule at the same timestamp forever, so
+    // every periodic interval below must be strictly positive or a run
+    // would hang instead of returning.
+    b.Time("epoch_interval_ms", &ClusterConfig::epoch_interval, kMillisecond,
+           "epoch-based group commit interval", check::Positive<SimTime>());
+    b.Field("materialize_secondaries", &ClusterConfig::materialize_secondaries,
+            "physically apply shipped log entries to per-replica copies");
+    b.Time("txn_setup_cost_us", &ClusterConfig::txn_setup_cost, kMicrosecond,
+           "fixed coordinator cost to start/finish a transaction",
+           check::NonNegative<SimTime>());
+    b.Time("op_local_cost_us", &ClusterConfig::op_local_cost, kMicrosecond,
+           "executing one op on a local primary",
+           check::NonNegative<SimTime>());
+    b.Time("op_service_cost_us", &ClusterConfig::op_service_cost, kMicrosecond,
+           "serving one remote op at the serving node",
+           check::NonNegative<SimTime>());
+    b.Time("log_write_cost_us", &ClusterConfig::log_write_cost, kMicrosecond,
+           "writing a prepare/commit log record",
+           check::NonNegative<SimTime>());
+    b.Time("validation_cost_per_op_ns", &ClusterConfig::validation_cost_per_op,
+           1, "OCC validation per accessed record",
+           check::NonNegative<SimTime>());
+    b.Time("message_handling_cost_us", &ClusterConfig::message_handling_cost,
+           kMicrosecond, "handling any control message at the receiver",
+           check::NonNegative<SimTime>());
+    b.Time("remaster_base_delay_us", &ClusterConfig::remaster_base_delay,
+           kMicrosecond, "base remastering duration (paper: 3000 us)",
+           check::NonNegative<SimTime>());
+    b.Time("remaster_per_entry_ns", &ClusterConfig::remaster_per_entry, 1,
+           "additional remastering time per lagging log entry",
+           check::NonNegative<SimTime>());
+    b.Time("migration_base_delay_ms", &ClusterConfig::migration_base_delay,
+           kMillisecond, "fixed overhead for starting a partition copy",
+           check::NonNegative<SimTime>());
+    b.Nested("net", &ClusterConfig::net, NetworkConfigSchema(),
+             "network latency/bandwidth model");
+    return std::move(b).Build();
+  }();
+  return schema;
+}
+
+const ConfigSchema& YcsbConfigSchema() {
+  static const ConfigSchema schema = [] {
+    ConfigSchemaBuilder<YcsbConfig> b("YcsbConfig");
+    b.Field("ops_per_txn", &YcsbConfig::ops_per_txn,
+            "operations per transaction", check::AtLeast<int>(1));
+    b.Enum("cross_pattern", &YcsbConfig::cross_pattern,
+           {{"paired", CrossPattern::kPaired},
+            {"random-node", CrossPattern::kRandomNode}},
+           "how cross-partition transactions choose their second partition");
+    b.Field("cross_ratio", &YcsbConfig::cross_ratio,
+            "fraction of transactions spanning two nodes",
+            check::UnitInterval());
+    b.Field("skew_factor", &YcsbConfig::skew_factor,
+            "fraction of transactions homed on the hot node",
+            check::UnitInterval());
+    b.Field("zipf_theta", &YcsbConfig::zipf_theta,
+            "Zipfian theta over keys within a partition (0 = uniform)",
+            check::NonNegative<double>());
+    b.Field("write_ratio", &YcsbConfig::write_ratio,
+            "per-operation probability of being a write",
+            check::UnitInterval());
+    b.Field("hot_node", &YcsbConfig::hot_node,
+            "node whose initial partitions form the hotspot",
+            check::NonNegative<int>());
+    b.Field("partition_offset", &YcsbConfig::partition_offset,
+            "rotation of the partition space (dynamic scenarios)",
+            check::NonNegative<int>());
+    return std::move(b).Build();
+  }();
+  return schema;
+}
+
+const ConfigSchema& TpccConfigSchema() {
+  static const ConfigSchema schema = [] {
+    ConfigSchemaBuilder<TpccConfig> b("TpccConfig");
+    b.Field("districts_per_warehouse", &TpccConfig::districts_per_warehouse,
+            "districts per warehouse", check::AtLeast<int>(1));
+    b.Field("customers_per_district", &TpccConfig::customers_per_district,
+            "customers per district (scaled from 3000)",
+            check::AtLeast<int>(1));
+    b.Field("items", &TpccConfig::items, "item count (scaled from 100000)",
+            check::AtLeast<int>(1));
+    b.Field("min_order_lines", &TpccConfig::min_order_lines,
+            "minimum order lines per NewOrder", check::AtLeast<int>(1));
+    b.Field("max_order_lines", &TpccConfig::max_order_lines,
+            "maximum order lines per NewOrder", check::AtLeast<int>(1));
+    b.Field("remote_ratio", &TpccConfig::remote_ratio,
+            "fraction of NewOrders buying from a remote warehouse",
+            check::UnitInterval());
+    b.Field("payment_ratio", &TpccConfig::payment_ratio,
+            "fraction of Payment transactions in the mix",
+            check::UnitInterval());
+    b.Field("remote_payment_ratio", &TpccConfig::remote_payment_ratio,
+            "probability a Payment customer is remote",
+            check::UnitInterval());
+    b.Field("delivery_ratio", &TpccConfig::delivery_ratio,
+            "fraction of Delivery transactions", check::UnitInterval());
+    b.Field("order_status_ratio", &TpccConfig::order_status_ratio,
+            "fraction of OrderStatus transactions", check::UnitInterval());
+    b.Field("stock_level_ratio", &TpccConfig::stock_level_ratio,
+            "fraction of StockLevel transactions", check::UnitInterval());
+    b.Field("skew_factor", &TpccConfig::skew_factor,
+            "fraction of transactions targeting the hot node",
+            check::UnitInterval());
+    b.Field("hot_node", &TpccConfig::hot_node,
+            "node whose warehouses form the hotspot",
+            check::NonNegative<int>());
+    b.Time("think_time_us", &TpccConfig::think_time, kMicrosecond,
+           "coordinator-side business logic time per transaction",
+           check::NonNegative<SimTime>());
+    return std::move(b).Build();
+  }();
+  return schema;
+}
+
+const ConfigSchema& LstmConfigSchema() {
+  static const ConfigSchema schema = [] {
+    ConfigSchemaBuilder<LstmConfig> b("LstmConfig");
+    b.Field("input_dim", &LstmConfig::input_dim, "input dimension",
+            check::AtLeast<int>(1));
+    b.Field("hidden", &LstmConfig::hidden, "hidden units per layer",
+            check::AtLeast<int>(1));
+    b.Field("layers", &LstmConfig::layers, "stacked LSTM layers",
+            check::AtLeast<int>(1));
+    b.Field("output_dim", &LstmConfig::output_dim, "output dimension",
+            check::AtLeast<int>(1));
+    b.Field("learning_rate", &LstmConfig::learning_rate,
+            "Adam learning rate", check::Positive<double>());
+    b.Field("adam_beta1", &LstmConfig::adam_beta1, "Adam beta1",
+            check::UnitInterval());
+    b.Field("adam_beta2", &LstmConfig::adam_beta2, "Adam beta2",
+            check::UnitInterval());
+    b.Field("adam_eps", &LstmConfig::adam_eps, "Adam epsilon",
+            check::Positive<double>());
+    b.Field("grad_clip", &LstmConfig::grad_clip, "gradient clip norm",
+            check::Positive<double>());
+    return std::move(b).Build();
+  }();
+  return schema;
+}
+
+const ConfigSchema& PredictorConfigSchema() {
+  static const ConfigSchema schema = [] {
+    ConfigSchemaBuilder<PredictorConfig> b("PredictorConfig");
+    b.Time("sample_interval_ms", &PredictorConfig::sample_interval,
+           kMillisecond, "arrival-rate sampling interval (Eq. 5)",
+           check::Positive<SimTime>());
+    b.Field("max_templates", &PredictorConfig::max_templates,
+            "cap on tracked templates (hottest retained)",
+            check::AtLeast<uint64_t>(1));
+    b.Field("beta", &PredictorConfig::beta,
+            "cosine-distance threshold for workload-class merging",
+            check::UnitInterval());
+    b.Field("class_window", &PredictorConfig::class_window,
+            "arrival-rate window length per class",
+            check::AtLeast<uint64_t>(1));
+    b.Field("history_window", &PredictorConfig::history_window,
+            "LSTM input length in sampling intervals",
+            check::AtLeast<int>(1));
+    b.Field("horizon", &PredictorConfig::horizon,
+            "forecast horizon h in sampling intervals (Eq. 6)",
+            check::AtLeast<int>(1));
+    b.Field("gamma", &PredictorConfig::gamma,
+            "workload-variation threshold triggering pre-replication",
+            check::NonNegative<double>());
+    b.Field("wp", &PredictorConfig::wp,
+            "weight of predicted workloads in the heat graph",
+            check::NonNegative<double>());
+    b.Field("prediction_scale", &PredictorConfig::prediction_scale,
+            "scale from forecast arrival rate to graph weight",
+            check::NonNegative<double>());
+    b.Field("sample_size", &PredictorConfig::sample_size,
+            "templates drawn per rising workload class");
+    b.Field("train_epochs", &PredictorConfig::train_epochs,
+            "training epochs per planning round",
+            check::NonNegative<int>());
+    b.Field("retrain_mse", &PredictorConfig::retrain_mse,
+            "MSE above which a class model retrains",
+            check::NonNegative<double>());
+    b.Nested("lstm", &PredictorConfig::lstm, LstmConfigSchema(),
+             "per-class LSTM architecture and optimizer");
+    return std::move(b).Build();
+  }();
+  return schema;
+}
+
+const ConfigSchema& ClumpOptionsSchema() {
+  static const ConfigSchema schema = [] {
+    ConfigSchemaBuilder<ClumpOptions> b("ClumpOptions");
+    b.Field("alpha", &ClumpOptions::alpha,
+            "edge-weight threshold for joining a clump",
+            check::NonNegative<double>());
+    b.Field("cross_node_multiplier", &ClumpOptions::cross_node_multiplier,
+            "weight multiplier for cross-node co-access edges",
+            check::NonNegative<double>());
+    b.Field("alpha_relative", &ClumpOptions::alpha_relative,
+            "relative noise filter vs. mean raw edge weight (0 = off)",
+            check::NonNegative<double>());
+    return std::move(b).Build();
+  }();
+  return schema;
+}
+
+const ConfigSchema& CostModelConfigSchema() {
+  static const ConfigSchema schema = [] {
+    ConfigSchemaBuilder<CostModelConfig> b("CostModelConfig");
+    b.Field("wr", &CostModelConfig::wr,
+            "cost weight of remastering an existing secondary",
+            check::NonNegative<double>());
+    b.Field("wm", &CostModelConfig::wm,
+            "cost weight of migrating a missing replica",
+            check::NonNegative<double>());
+    b.Field("remote_access", &CostModelConfig::remote_access,
+            "routing-side weight of accessing a replica-less partition",
+            check::NonNegative<double>());
+    return std::move(b).Build();
+  }();
+  return schema;
+}
+
+const ConfigSchema& PlanGeneratorConfigSchema() {
+  static const ConfigSchema schema = [] {
+    ConfigSchemaBuilder<PlanGeneratorConfig> b("PlanGeneratorConfig");
+    b.Field("epsilon", &PlanGeneratorConfig::epsilon,
+            "permissible load imbalance for fine-tuning",
+            check::NonNegative<double>());
+    b.Field("step_budget", &PlanGeneratorConfig::step_budget,
+            "fine-tuning moves between FindOINodes re-derivations",
+            check::NonNegative<int>());
+    b.Nested("cost", &PlanGeneratorConfig::cost, CostModelConfigSchema(),
+             "Eq. 3/4 placement cost weights");
+    return std::move(b).Build();
+  }();
+  return schema;
+}
+
+const ConfigSchema& PlannerConfigSchema() {
+  static const ConfigSchema schema = [] {
+    ConfigSchemaBuilder<PlannerConfig> b("PlannerConfig");
+    b.Enum("strategy", &PlannerConfig::strategy,
+           {{"replica-rearrangement",
+             PartitioningStrategy::kReplicaRearrangement},
+            {"schism", PartitioningStrategy::kSchism}},
+           "partitioning strategy driving plan generation");
+    b.Time("interval_ms", &PlannerConfig::interval, kMillisecond,
+           "how often the planner analyzes and re-plans",
+           check::Positive<SimTime>());
+    b.Field("history_capacity", &PlannerConfig::history_capacity,
+            "recent transactions kept by the analyzer (B)",
+            check::AtLeast<uint64_t>(1));
+    b.Field("min_history", &PlannerConfig::min_history,
+            "minimum history before a planning round does anything");
+    b.Field("frequency_decay", &PlannerConfig::frequency_decay,
+            "per-round exponential decay of access frequencies",
+            check::UnitInterval());
+    b.Nested("clump", &PlannerConfig::clump, ClumpOptionsSchema(),
+             "clump generation thresholds");
+    b.Nested("plan", &PlannerConfig::plan, PlanGeneratorConfigSchema(),
+             "Algorithm 1 rearrangement parameters");
+    return std::move(b).Build();
+  }();
+  return schema;
+}
+
+const ConfigSchema& LionOptionsSchema() {
+  static const ConfigSchema schema = [] {
+    ConfigSchemaBuilder<LionOptions> b("LionOptions");
+    b.Field("enable_planner", &LionOptions::enable_planner,
+            "adaptive replica rearrangement via the planner");
+    b.Field("batch_mode", &LionOptions::batch_mode,
+            "batch execution with asynchronous remastering");
+    b.Field("group_commit", &LionOptions::group_commit,
+            "hold commit acknowledgements to the epoch boundary");
+    b.Field("max_batch_size", &LionOptions::max_batch_size,
+            "flush a batch early at this many transactions",
+            check::AtLeast<uint64_t>(1));
+    b.Nested("planner", &LionOptions::planner, PlannerConfigSchema(),
+             "planning loop configuration");
+    b.Nested("cost", &LionOptions::cost, CostModelConfigSchema(),
+             "router/remaster cost model weights");
+    return std::move(b).Build();
+  }();
+  return schema;
+}
+
+const ConfigSchema& ClayConfigSchema() {
+  static const ConfigSchema schema = [] {
+    ConfigSchemaBuilder<ClayConfig> b("ClayConfig");
+    b.Time("monitor_interval_ms", &ClayConfig::monitor_interval, kMillisecond,
+           "how often Clay checks node load", check::Positive<SimTime>());
+    b.Field("epsilon", &ClayConfig::epsilon,
+            "load imbalance tolerance before repartitioning",
+            check::NonNegative<double>());
+    b.Field("clump_budget", &ClayConfig::clump_budget,
+            "partitions moved per repartitioning round",
+            check::AtLeast<int>(1));
+    b.Field("history_capacity", &ClayConfig::history_capacity,
+            "co-access history window", check::AtLeast<uint64_t>(1));
+    return std::move(b).Build();
+  }();
+  return schema;
+}
+
+const ConfigSchema& ExperimentConfigSchema() {
+  static const ConfigSchema schema = [] {
+    ConfigSchemaBuilder<ExperimentConfig> b("ExperimentConfig");
+    b.Field("protocol", &ExperimentConfig::protocol,
+            "protocol name resolved through ProtocolRegistry",
+            check::NotEmpty());
+    b.Field("workload", &ExperimentConfig::workload,
+            "workload name resolved through WorkloadRegistry",
+            check::NotEmpty());
+    b.Nested("cluster", &ExperimentConfig::cluster, ClusterConfigSchema(),
+             "simulated cluster topology and cost model");
+    b.Nested("ycsb", &ExperimentConfig::ycsb, YcsbConfigSchema(),
+             "YCSB workload parameters");
+    b.Nested("tpcc", &ExperimentConfig::tpcc, TpccConfigSchema(),
+             "TPC-C workload parameters");
+    b.Time("dynamic_period_s", &ExperimentConfig::dynamic_period, kSecond,
+           "period length of the dynamic scenarios",
+           check::Positive<SimTime>());
+    b.Field("concurrency", &ExperimentConfig::concurrency,
+            "closed-loop concurrency (0 = derive from execution mode)",
+            check::NonNegative<int>());
+    b.Time("warmup_s", &ExperimentConfig::warmup, kSecond,
+           "warmup seconds before measurement",
+           check::NonNegative<SimTime>());
+    b.Time("duration_s", &ExperimentConfig::duration, kSecond,
+           "measured seconds", check::Positive<SimTime>());
+    b.Field("seed", &ExperimentConfig::seed, "RNG seed");
+    b.Nested("lion", &ExperimentConfig::lion, LionOptionsSchema(),
+             "Lion protocol options");
+    b.Nested("predictor", &ExperimentConfig::predictor,
+             PredictorConfigSchema(), "LSTM workload predictor");
+    b.Nested("clay", &ExperimentConfig::clay, ClayConfigSchema(),
+             "Clay baseline options");
+    return std::move(b).Build();
+  }();
+  return schema;
+}
+
+// --- typed conveniences -----------------------------------------------------
+
+Status ParseExperimentConfig(const Json& v, ExperimentConfig* out) {
+  return ExperimentConfigSchema().ParseJson(v, out);
+}
+
+Json EmitExperimentConfig(const ExperimentConfig& cfg) {
+  return ExperimentConfigSchema().EmitJson(&cfg);
+}
+
+Status ValidateExperimentConfig(const ExperimentConfig& cfg) {
+  return ExperimentConfigSchema().Validate(&cfg);
+}
+
+Status SetExperimentFlag(ExperimentConfig* cfg, const std::string& dotted,
+                         const std::string& value) {
+  return ExperimentConfigSchema().SetByPath(cfg, dotted, value);
+}
+
+}  // namespace lion

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "harness/config_schema.h"
 #include "harness/driver.h"
 
 namespace lion {
@@ -100,39 +101,17 @@ std::string ExperimentResult::ToJson() const {
 }
 
 Status ExperimentBuilder::Validate() const {
+  // Name existence resolves against the registries (kNotFound lists the
+  // known names); every value constraint — positive durations and timer
+  // intervals, sane topology, [0,1] ratios — is declared field-by-field in
+  // the config schema and enforced here with dotted-path error messages.
   Status protocol_exists =
       ProtocolRegistry::Global().CheckExists(config_.protocol);
   if (!protocol_exists.ok()) return protocol_exists;
   Status workload_exists =
       WorkloadRegistry::Global().CheckExists(config_.workload);
   if (!workload_exists.ok()) return workload_exists;
-  if (config_.duration <= 0)
-    return Status::InvalidArgument("duration must be positive");
-  if (config_.warmup < 0)
-    return Status::InvalidArgument("warmup must be non-negative");
-  if (config_.concurrency < 0)
-    return Status::InvalidArgument("concurrency must be non-negative");
-  if (config_.cluster.num_nodes <= 0)
-    return Status::InvalidArgument("cluster needs at least one node");
-  if (config_.cluster.partitions_per_node <= 0)
-    return Status::InvalidArgument("cluster needs partitions per node");
-  if (config_.cluster.workers_per_node <= 0)
-    return Status::InvalidArgument("cluster needs workers per node");
-  if (config_.cluster.net.stats_window <= 0)
-    return Status::InvalidArgument("stats window must be positive");
-  // Zero-period timers self-reschedule at the same timestamp forever, so a
-  // run would hang instead of returning.
-  if (config_.cluster.epoch_interval <= 0)
-    return Status::InvalidArgument("epoch interval must be positive");
-  if (config_.lion.planner.interval <= 0)
-    return Status::InvalidArgument("planner interval must be positive");
-  if (config_.predictor.sample_interval <= 0)
-    return Status::InvalidArgument("predictor sample interval must be positive");
-  if (config_.clay.monitor_interval <= 0)
-    return Status::InvalidArgument("clay monitor interval must be positive");
-  if (config_.dynamic_period <= 0)
-    return Status::InvalidArgument("dynamic period must be positive");
-  return Status::OK();
+  return ValidateExperimentConfig(config_);
 }
 
 Status ExperimentBuilder::Build(std::unique_ptr<Experiment>* out) const {

@@ -1,0 +1,124 @@
+#include "harness/sweep_cli.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace lion {
+
+namespace {
+
+/// Per-metric median across one point's repeated runs; index N/2 of the
+/// sorted values (the upper median for even N — with min/max reported
+/// alongside, the convention barely matters).
+double MedianOf(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+double DistPct(const ExperimentResult& r) {
+  if (r.committed == 0) return 0.0;
+  return 100.0 * static_cast<double>(r.distributed) /
+         static_cast<double>(r.committed);
+}
+
+}  // namespace
+
+bool StderrIsTty() { return isatty(fileno(stderr)) != 0; }
+
+std::vector<SweepPoint> ExpandRepeat(std::vector<SweepPoint> points,
+                                     int repeat) {
+  if (repeat <= 1) return points;
+  std::vector<SweepPoint> expanded;
+  expanded.reserve(points.size() * static_cast<size_t>(repeat));
+  for (SweepPoint& p : points) {
+    for (int k = 0; k < repeat; ++k) {
+      SweepPoint run;
+      run.name = p.name + "/rep=" + std::to_string(k);
+      run.config = p.config;
+      run.config.seed = p.config.seed + static_cast<uint64_t>(k);
+      expanded.push_back(std::move(run));
+    }
+  }
+  return expanded;
+}
+
+SweepOptions::ProgressFn MakeSweepProgress(bool enabled, size_t total) {
+  if (!enabled || total == 0) return nullptr;
+  // The hook is copied into the runner, so the start time and the shared
+  // state live behind a shared_ptr.
+  auto start = std::make_shared<std::chrono::steady_clock::time_point>(
+      std::chrono::steady_clock::now());
+  return [start, total](size_t done, size_t runner_total,
+                        const SweepOutcome& outcome) {
+    (void)runner_total;
+    double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      *start)
+            .count();
+    double eta = done > 0
+                     ? elapsed / static_cast<double>(done) *
+                           static_cast<double>(total - done)
+                     : 0.0;
+    // \r + trailing spaces keep one live status line; runs are long (a
+    // simulated experiment each), so the redraw rate is harmless.
+    std::fprintf(stderr, "\r[%zu/%zu done, ~%.0fs left] %s\x1b[K", done,
+                 total, eta, outcome.name.c_str());
+    if (done == total) std::fputc('\n', stderr);
+  };
+}
+
+bool PrintSweepSummaries(std::FILE* out,
+                         const std::vector<SweepOutcome>& outcomes,
+                         int repeat) {
+  if (repeat < 1) repeat = 1;
+  bool all_ok = true;
+  const size_t n = static_cast<size_t>(repeat);
+  for (size_t base = 0; base < outcomes.size(); base += n) {
+    size_t group_end = std::min(outcomes.size(), base + n);
+    std::vector<double> throughput, p50, p95, dist;
+    double min_tput = 0.0, max_tput = 0.0;
+    for (size_t i = base; i < group_end; ++i) {
+      const SweepOutcome& o = outcomes[i];
+      if (!o.status.ok()) {
+        all_ok = false;
+        std::fprintf(out, "%s: %s\n", o.name.c_str(),
+                     o.status.ToString().c_str());
+        continue;
+      }
+      throughput.push_back(o.result.throughput);
+      p50.push_back(o.result.p50_us);
+      p95.push_back(o.result.p95_us);
+      dist.push_back(DistPct(o.result));
+    }
+    if (throughput.empty()) continue;
+    min_tput = *std::min_element(throughput.begin(), throughput.end());
+    max_tput = *std::max_element(throughput.begin(), throughput.end());
+    // Strip the "/rep=k" suffix back off for the group's display name.
+    std::string name = outcomes[base].name;
+    if (repeat > 1) {
+      size_t cut = name.rfind("/rep=");
+      if (cut != std::string::npos) name = name.substr(0, cut);
+    }
+    if (repeat == 1) {
+      std::fprintf(out, "%s: ktxn/s=%.1f p50_us=%.0f p95_us=%.0f "
+                        "dist_pct=%.1f\n",
+                   name.c_str(), throughput[0] / 1000.0, p50[0], p95[0],
+                   dist[0]);
+    } else {
+      std::fprintf(out,
+                   "%s: ktxn/s=%.1f [%.1f..%.1f] p50_us=%.0f p95_us=%.0f "
+                   "dist_pct=%.1f (median of %zu)\n",
+                   name.c_str(), MedianOf(throughput) / 1000.0,
+                   min_tput / 1000.0, max_tput / 1000.0, MedianOf(p50),
+                   MedianOf(p95), MedianOf(dist), throughput.size());
+    }
+  }
+  return all_ok;
+}
+
+}  // namespace lion

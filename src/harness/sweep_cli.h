@@ -1,0 +1,41 @@
+// Shared front-end pieces for sweep-running binaries (bench::SweepMain and
+// lion_bench_cli --sweep): repeat expansion with derived seeds, a TTY
+// progress/ETA line, and per-point summary reporting with medians.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/sweep_runner.h"
+
+namespace lion {
+
+/// True when stderr is an interactive terminal — progress/ETA lines are
+/// suppressed otherwise (CI logs, redirects).
+bool StderrIsTty();
+
+/// Replicates every point `repeat` times in place (point i's runs stay
+/// consecutive): run k is named "<name>/rep=k" and carries the derived seed
+/// `base_seed + k`, so repeats sample independent executions while staying
+/// fully deterministic. `repeat <= 1` returns the points unchanged.
+std::vector<SweepPoint> ExpandRepeat(std::vector<SweepPoint> points,
+                                     int repeat);
+
+/// Returns an on_progress hook that rewrites one stderr status line:
+///   [12/40 done, ~84s left] Fig7a/Lion/cross=50
+/// ETA extrapolates mean wall time per completed run over the remainder.
+/// Pass enabled=false (not a TTY, --json mode) for a no-op hook.
+SweepOptions::ProgressFn MakeSweepProgress(bool enabled, size_t total);
+
+/// Prints one summary line per declared point, in declaration order. With
+/// repeat > 1 the line reports the per-metric median across that point's
+/// runs plus the throughput min/max spread:
+///   name: ktxn/s=102.4 [98.1..104.0] p50_us=870 p95_us=2410 dist_pct=4.2
+///     (median of 5)
+/// Failed runs print their status instead. Returns true when every run
+/// succeeded.
+bool PrintSweepSummaries(std::FILE* out,
+                         const std::vector<SweepOutcome>& outcomes,
+                         int repeat);
+
+}  // namespace lion

@@ -27,25 +27,6 @@ const char* CodeName(Status::Code code) {
 
 }  // namespace
 
-void AppendJsonEscaped(std::string* out, const std::string& s) {
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\t': *out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          *out += c;
-        }
-    }
-  }
-}
-
 SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {}
 
 void SweepRunner::Add(std::string name, ExperimentConfig config) {

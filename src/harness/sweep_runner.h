@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/status.h"
 #include "harness/experiment.h"
 #include "harness/experiment_config.h"
@@ -39,14 +40,16 @@ struct SweepOutcome {
 };
 
 struct SweepOptions {
+  using ProgressFn =
+      std::function<void(size_t done, size_t total, const SweepOutcome&)>;
+
   /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).
   /// The pool never exceeds the number of points.
   int threads = 0;
   /// Optional progress hook, called after each run completes. Serialized by
   /// an internal mutex but invoked from worker threads, in completion (not
   /// Add) order — do not touch sweep state from it.
-  std::function<void(size_t done, size_t total, const SweepOutcome&)>
-      on_progress;
+  ProgressFn on_progress;
 };
 
 class SweepRunner {
@@ -72,10 +75,5 @@ class SweepRunner {
   SweepOptions options_;
   std::vector<SweepPoint> points_;
 };
-
-/// Appends `s` to `*out` with JSON string escaping (quotes, backslashes,
-/// control characters). For values that may carry arbitrary text — error
-/// messages, user-supplied labels; registry identifiers don't need it.
-void AppendJsonEscaped(std::string* out, const std::string& s);
 
 }  // namespace lion

@@ -35,10 +35,21 @@ Record& PartitionStore::SparseRecords::GetOrInsert(Key key) {
   }
 }
 
-void PartitionStore::SparseRecords::Grow() {
+void PartitionStore::SparseRecords::Grow() { Rehash(slots_.size() * 2); }
+
+void PartitionStore::SparseRecords::Reserve(size_t count) {
+  // Match GetOrInsert's growth trigger ((size+1)*2 > capacity): holding
+  // `count` keys without a further rehash needs capacity >= 2*count.
+  size_t target = slots_.size();
+  while (count * 2 > target) target *= 2;
+  if (target != slots_.size()) Rehash(target);
+}
+
+void PartitionStore::SparseRecords::Rehash(size_t new_capacity) {
   std::vector<Slot> old = std::move(slots_);
-  slots_.assign(old.size() * 2, Slot{});
-  shift_--;
+  slots_.assign(new_capacity, Slot{});
+  shift_ = 64;
+  for (size_t c = new_capacity; c > 1; c >>= 1) shift_--;
   for (const Slot& s : old) {
     if (s.key == kEmptyKey) continue;
     size_t i = IndexFor(s.key);

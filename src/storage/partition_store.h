@@ -96,6 +96,17 @@ class PartitionStore {
   /// Inserts a brand-new record (used by workload loaders / insert ops).
   void Insert(Key key, Value value) { GetOrInsert(key) = Record{value, 1, 0}; }
 
+  /// Pre-sizes the sparse side table for `additional` upcoming inserts of
+  /// non-dense keys, so bulk loaders (TPC-C Load) pay one rehash up front
+  /// instead of log2(n) incremental growths per store.
+  void ReserveSparse(uint64_t additional) {
+    sparse_.Reserve(sparse_.size() + additional);
+  }
+
+  /// Sparse-table slot count (test/diagnostic hook; growth happens at 50%
+  /// load, so capacity >= 2x the keys it holds).
+  size_t sparse_capacity() const { return sparse_.capacity(); }
+
   bool Contains(Key key) const { return FindRecord(key) != nullptr; }
 
   /// Write-block flag used during remastering/migration: protocols consult
@@ -131,7 +142,11 @@ class PartitionStore {
 
     Record& GetOrInsert(Key key);
 
+    /// Grows (never shrinks) to hold `count` keys without further rehashes.
+    void Reserve(size_t count);
+
     size_t size() const { return size_ + (has_reserved_ ? 1 : 0); }
+    size_t capacity() const { return slots_.size(); }
 
    private:
     friend class PartitionStore;
@@ -150,6 +165,7 @@ class PartitionStore {
       return static_cast<size_t>((key * 0x9E3779B97F4A7C15ull) >> shift_);
     }
     void Grow();
+    void Rehash(size_t new_capacity);  // power of two > slots_.size()
 
     std::vector<Slot> slots_;  // size is always a power of two
     int shift_;

@@ -1,0 +1,205 @@
+// Schema-layer tests: exact JSON round trips for every registered
+// protocol/workload config, unknown-key and type errors with dotted paths,
+// field validation, and CLI-style SetByPath overrides.
+#include <gtest/gtest.h>
+
+#include "harness/config_schema.h"
+#include "harness/experiment_config.h"
+#include "harness/registry.h"
+
+namespace lion {
+namespace {
+
+std::string EmitText(const ExperimentConfig& cfg) {
+  return EmitExperimentConfig(cfg).Dump();
+}
+
+/// parse(emit(cfg)) must reproduce cfg exactly; equality is judged on the
+/// re-emitted text, which covers every declared field.
+void ExpectRoundTripExact(const ExperimentConfig& cfg) {
+  std::string text = EmitText(cfg);
+  Json doc;
+  ASSERT_TRUE(Json::Parse(text, &doc).ok()) << text;
+  ExperimentConfig back;
+  Status s = ParseExperimentConfig(doc, &back);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(EmitText(back), text);
+}
+
+TEST(ConfigSchemaTest, RoundTripForEveryRegisteredProtocolAndWorkload) {
+  for (const std::string& protocol : ProtocolRegistry::Global().Names()) {
+    for (const std::string& workload : WorkloadRegistry::Global().Names()) {
+      ExperimentConfig cfg;
+      cfg.protocol = protocol;
+      cfg.workload = workload;
+      ExpectRoundTripExact(cfg);
+    }
+  }
+}
+
+TEST(ConfigSchemaTest, RoundTripSurvivesNonDefaultValuesEverywhere) {
+  ExperimentConfig cfg;
+  cfg.protocol = "Lion(B)";
+  cfg.workload = "ycsb-hotspot-position";
+  cfg.cluster.num_nodes = 7;
+  cfg.cluster.workers_per_node = 3;
+  cfg.cluster.records_per_partition = 123456789;
+  cfg.cluster.epoch_interval = 12500 * kMicrosecond;  // 12.5 ms
+  cfg.cluster.materialize_secondaries = true;
+  cfg.cluster.validation_cost_per_op = 733;  // ns
+  cfg.cluster.net.bandwidth_bytes_per_sec = 1.5e9;
+  cfg.cluster.net.one_way_latency = 37 * kMicrosecond;
+  cfg.ycsb.cross_pattern = CrossPattern::kRandomNode;
+  cfg.ycsb.cross_ratio = 0.35;
+  cfg.ycsb.zipf_theta = 0.99;
+  cfg.tpcc.payment_ratio = 0.43;
+  cfg.tpcc.think_time = 11 * kMicrosecond;
+  cfg.dynamic_period = 2500 * kMillisecond;
+  cfg.concurrency = 77;
+  cfg.warmup = 300 * kMillisecond;
+  cfg.duration = 4700 * kMillisecond;
+  // Larger than 2^53: survives only because number lexemes are lossless.
+  cfg.seed = 18446744073709551557ull;
+  cfg.lion.batch_mode = true;
+  cfg.lion.max_batch_size = 2048;
+  cfg.lion.planner.strategy = PartitioningStrategy::kSchism;
+  cfg.lion.planner.interval = 125 * kMillisecond;
+  cfg.lion.planner.frequency_decay = 0.75;
+  cfg.lion.planner.clump.alpha = 2.25;
+  cfg.lion.planner.plan.cost.wm = 12.5;
+  cfg.lion.cost.remote_access = 6.5;
+  cfg.predictor.sample_interval = 40 * kMillisecond;
+  cfg.predictor.beta = 0.22;
+  cfg.predictor.lstm.hidden = 32;
+  cfg.predictor.lstm.learning_rate = 0.005;
+  cfg.clay.monitor_interval = 750 * kMillisecond;
+  cfg.clay.clump_budget = 5;
+  ExpectRoundTripExact(cfg);
+
+  // Spot-check semantic recovery (not just textual equality).
+  Json doc;
+  ASSERT_TRUE(Json::Parse(EmitText(cfg), &doc).ok());
+  ExperimentConfig back;
+  ASSERT_TRUE(ParseExperimentConfig(doc, &back).ok());
+  EXPECT_EQ(back.seed, cfg.seed);
+  EXPECT_EQ(back.cluster.epoch_interval, cfg.cluster.epoch_interval);
+  EXPECT_EQ(back.ycsb.cross_pattern, CrossPattern::kRandomNode);
+  EXPECT_EQ(back.lion.planner.strategy, PartitioningStrategy::kSchism);
+  EXPECT_EQ(back.duration, 4700 * kMillisecond);
+  EXPECT_EQ(back.predictor.lstm.hidden, 32);
+}
+
+TEST(ConfigSchemaTest, PartialConfigKeepsDefaults) {
+  Json doc;
+  ASSERT_TRUE(
+      Json::Parse("{\"protocol\":\"2PC\",\"ycsb\":{\"cross_ratio\":0.5}}",
+                  &doc)
+          .ok());
+  ExperimentConfig cfg;
+  ASSERT_TRUE(ParseExperimentConfig(doc, &cfg).ok());
+  EXPECT_EQ(cfg.protocol, "2PC");
+  EXPECT_DOUBLE_EQ(cfg.ycsb.cross_ratio, 0.5);
+  ExperimentConfig defaults;
+  EXPECT_EQ(cfg.workload, defaults.workload);
+  EXPECT_EQ(cfg.duration, defaults.duration);
+  EXPECT_EQ(cfg.cluster.num_nodes, defaults.cluster.num_nodes);
+}
+
+TEST(ConfigSchemaTest, UnknownKeyReportsDottedPath) {
+  Json doc;
+  ASSERT_TRUE(Json::Parse("{\"ycsb\":{\"cross_ratioo\":0.5}}", &doc).ok());
+  ExperimentConfig cfg;
+  Status s = ParseExperimentConfig(doc, &cfg);
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("ycsb.cross_ratioo"), std::string::npos)
+      << s.message();
+  EXPECT_NE(s.message().find("unknown field"), std::string::npos);
+}
+
+TEST(ConfigSchemaTest, TypeMismatchReportsDottedPath) {
+  Json doc;
+  ASSERT_TRUE(Json::Parse("{\"cluster\":{\"num_nodes\":\"four\"}}", &doc)
+                  .ok());
+  ExperimentConfig cfg;
+  Status s = ParseExperimentConfig(doc, &cfg);
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("cluster.num_nodes"), std::string::npos)
+      << s.message();
+}
+
+TEST(ConfigSchemaTest, EnumParsingAndErrors) {
+  ExperimentConfig cfg;
+  ASSERT_TRUE(
+      SetExperimentFlag(&cfg, "ycsb.cross_pattern", "random-node").ok());
+  EXPECT_EQ(cfg.ycsb.cross_pattern, CrossPattern::kRandomNode);
+  Status s = SetExperimentFlag(&cfg, "ycsb.cross_pattern", "diagonal");
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("paired"), std::string::npos) << s.message();
+}
+
+TEST(ConfigSchemaTest, ValidationReportsRangeWithPath) {
+  ExperimentConfig cfg;
+  cfg.ycsb.cross_ratio = 1.3;
+  Status s = ValidateExperimentConfig(cfg);
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "ycsb.cross_ratio: 1.3 not in [0,1]");
+
+  cfg = ExperimentConfig{};
+  cfg.duration = 0;
+  s = ValidateExperimentConfig(cfg);
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("duration_s"), std::string::npos);
+
+  cfg = ExperimentConfig{};
+  cfg.lion.planner.interval = 0;
+  s = ValidateExperimentConfig(cfg);
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("lion.planner.interval_ms"), std::string::npos);
+
+  EXPECT_TRUE(ValidateExperimentConfig(ExperimentConfig{}).ok());
+}
+
+TEST(ConfigSchemaTest, SetByPathParsesUnitsAndTypes) {
+  ExperimentConfig cfg;
+  ASSERT_TRUE(SetExperimentFlag(&cfg, "lion.planner.interval_ms", "5").ok());
+  EXPECT_EQ(cfg.lion.planner.interval, 5 * kMillisecond);
+  ASSERT_TRUE(SetExperimentFlag(&cfg, "duration_s", "0.25").ok());
+  EXPECT_EQ(cfg.duration, 250 * kMillisecond);
+  ASSERT_TRUE(SetExperimentFlag(&cfg, "protocol", "2PC").ok());
+  EXPECT_EQ(cfg.protocol, "2PC");
+  ASSERT_TRUE(
+      SetExperimentFlag(&cfg, "cluster.materialize_secondaries", "true")
+          .ok());
+  EXPECT_TRUE(cfg.cluster.materialize_secondaries);
+  ASSERT_TRUE(SetExperimentFlag(&cfg, "seed", "42").ok());
+  EXPECT_EQ(cfg.seed, 42u);
+
+  Status s = SetExperimentFlag(&cfg, "no.such.path", "1");
+  ASSERT_TRUE(s.IsInvalidArgument());
+  s = SetExperimentFlag(&cfg, "cluster.num_nodes", "many");
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("cluster.num_nodes"), std::string::npos);
+  // A dotted path through a scalar is rejected, not silently ignored.
+  s = SetExperimentFlag(&cfg, "duration_s.extra", "1");
+  ASSERT_TRUE(s.IsInvalidArgument());
+}
+
+TEST(ConfigSchemaTest, ListPathsCoversNestedLeaves) {
+  std::vector<std::pair<std::string, std::string>> paths;
+  ExperimentConfigSchema().ListPaths("", &paths);
+  ASSERT_GT(paths.size(), 60u);  // the full declared flag surface
+  auto has = [&paths](const std::string& p) {
+    for (const auto& e : paths) {
+      if (e.first == p) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("protocol"));
+  EXPECT_TRUE(has("cluster.net.stats_window_ms"));
+  EXPECT_TRUE(has("lion.planner.clump.alpha"));
+  EXPECT_TRUE(has("predictor.lstm.learning_rate"));
+  EXPECT_FALSE(has("lion"));  // nested structs are not leaves
+}
+
+}  // namespace
+}  // namespace lion

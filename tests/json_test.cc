@@ -1,0 +1,122 @@
+// Unit tests for the minimal JSON model: strict parsing, lossless number
+// lexemes, escape handling, and error positions.
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace lion {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  Json v;
+  ASSERT_TRUE(Json::Parse("null", &v).ok());
+  EXPECT_TRUE(v.is_null());
+  ASSERT_TRUE(Json::Parse("true", &v).ok());
+  bool b = false;
+  ASSERT_TRUE(v.GetBool(&b).ok());
+  EXPECT_TRUE(b);
+  ASSERT_TRUE(Json::Parse("-12.5e2", &v).ok());
+  double d = 0;
+  ASSERT_TRUE(v.GetDouble(&d).ok());
+  EXPECT_DOUBLE_EQ(d, -1250.0);
+  ASSERT_TRUE(Json::Parse("\"hi\"", &v).ok());
+  EXPECT_EQ(v.str(), "hi");
+}
+
+TEST(JsonTest, ParsesContainers) {
+  Json v;
+  ASSERT_TRUE(Json::Parse(" { \"a\" : [1, 2, {\"b\": false}] , \"c\": {} } ",
+                          &v)
+                  .ok());
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members().size(), 2u);
+  const Json* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_TRUE(a->items()[2].Find("b")->is_bool());
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, NumberLexemesSurviveRoundTrip) {
+  // A uint64 beyond double precision must not be mangled.
+  Json v;
+  ASSERT_TRUE(Json::Parse("18446744073709551615", &v).ok());
+  uint64_t u = 0;
+  ASSERT_TRUE(v.GetUint64(&u).ok());
+  EXPECT_EQ(u, 18446744073709551615ull);
+  EXPECT_EQ(v.Dump(), "18446744073709551615");
+}
+
+TEST(JsonTest, DoubleEmissionIsShortestRoundTrip) {
+  for (double d : {0.1, 1.0 / 3.0, 2.5e-9, 117.0 * 1024 * 1024, -0.25}) {
+    Json v = Json::Double(d);
+    Json back;
+    ASSERT_TRUE(Json::Parse(v.Dump(), &back).ok());
+    double parsed = 0;
+    ASSERT_TRUE(back.GetDouble(&parsed).ok());
+    EXPECT_EQ(parsed, d) << v.Dump();
+  }
+  EXPECT_EQ(Json::Double(0.1).Dump(), "0.1");
+  EXPECT_EQ(Json::Double(2.0).Dump(), "2");
+}
+
+TEST(JsonTest, IntegerAccessorsRejectFractionsAndOverflow) {
+  Json v;
+  ASSERT_TRUE(Json::Parse("1.5", &v).ok());
+  int64_t i = 0;
+  EXPECT_TRUE(v.GetInt64(&i).IsInvalidArgument());
+  uint64_t u = 0;
+  ASSERT_TRUE(Json::Parse("-3", &v).ok());
+  EXPECT_TRUE(v.GetUint64(&u).IsInvalidArgument());
+  ASSERT_TRUE(Json::Parse("99999999999999999999999", &v).ok());
+  EXPECT_TRUE(v.GetInt64(&i).IsInvalidArgument());
+  ASSERT_TRUE(Json::Parse("\"5\"", &v).ok());
+  EXPECT_TRUE(v.GetInt64(&i).IsInvalidArgument());
+}
+
+TEST(JsonTest, StringEscapes) {
+  Json v;
+  ASSERT_TRUE(
+      Json::Parse("\"a\\n\\t\\\"q\\\\\\u0041\\u00e9\\ud83d\\ude00\"", &v)
+          .ok());
+  EXPECT_EQ(v.str(), "a\n\t\"q\\A\xC3\xA9\xF0\x9F\x98\x80");
+  // Emission escapes control characters and quotes back out.
+  Json s = Json::Str("line1\nline2\"q\"");
+  Json back;
+  ASSERT_TRUE(Json::Parse(s.Dump(), &back).ok());
+  EXPECT_EQ(back.str(), s.str());
+}
+
+TEST(JsonTest, MalformedDocumentsAreInvalidArgument) {
+  Json v;
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "1 2",
+        "{\"a\":1,\"a\":2}", "\"unterminated", "\"bad\\q\"", "01", "- 1",
+        "nul", "[1 2]", "\"\\ud800x\""}) {
+    Status s = Json::Parse(bad, &v);
+    EXPECT_TRUE(s.IsInvalidArgument()) << bad << " -> " << s.ToString();
+  }
+}
+
+TEST(JsonTest, ErrorsCarryLineAndColumn) {
+  Json v;
+  Status s = Json::Parse("{\n  \"a\": tru\n}", &v);
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("2:8"), std::string::npos) << s.message();
+}
+
+TEST(JsonTest, ParseFileMissingIsNotFound) {
+  Json v;
+  EXPECT_TRUE(Json::ParseFile("/nonexistent/x.json", &v).IsNotFound());
+}
+
+TEST(JsonTest, DumpIsStableAndCompact) {
+  Json obj = Json::Object();
+  obj.Set("b", Json::Int(1));
+  obj.Set("a", Json::Array());
+  EXPECT_EQ(obj.Dump(), "{\"b\":1,\"a\":[]}");  // insertion order, no ws
+}
+
+}  // namespace
+}  // namespace lion

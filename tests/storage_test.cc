@@ -124,6 +124,25 @@ TEST(PartitionStoreTest, SparseTableSurvivesGrowth) {
   EXPECT_EQ(store.record_count(), 4u + 8 * 200);
 }
 
+TEST(PartitionStoreTest, ReserveSparsePresizesForBulkLoad) {
+  PartitionStore store(0, 100, 8);
+  const uint64_t rows = 3211;  // one TPC-C warehouse's sparse row count
+  store.ReserveSparse(rows);
+  const size_t cap = store.sparse_capacity();
+  EXPECT_GE(cap, 2 * rows);  // 50%-load invariant holds without growing
+  for (Key id = 0; id < rows; ++id) {
+    store.Insert((Key{3} << 40) | id, id);
+  }
+  EXPECT_EQ(store.sparse_capacity(), cap)
+      << "reserved load must not trigger incremental growth";
+  Value v = 0;
+  ASSERT_TRUE(store.Read((Key{3} << 40) | 1234, &v, nullptr).ok());
+  EXPECT_EQ(v, 1234u);
+  // Reserving less than the current capacity is a no-op.
+  store.ReserveSparse(1);
+  EXPECT_EQ(store.sparse_capacity(), cap);
+}
+
 TEST(PartitionStoreTest, AllOnesKeyIsAValidKey) {
   // The open-addressing table uses ~0 as its empty-slot marker; the store
   // must still treat it as an ordinary key.
