@@ -12,7 +12,8 @@
 //   --repeat=N        run each point N times with derived seeds and report
 //                     per-metric medians (+ min/max); on_done hooks observe
 //                     each point's first (base-seed) run and the merged
-//                     JSON keeps every individual run
+//                     JSON aggregates each point into median/min/max blocks
+//                     (see MergeRepeatJson in harness/sweep_cli.h)
 //   --sweep=FILE      replace the compiled-in grid with a JSON sweep spec
 //                     (see harness/sweep_spec.h and examples/configs/)
 //   --json=PATH       also write the merged sweep JSON document to PATH
@@ -234,7 +235,7 @@ inline int SweepMain(int argc, char** argv, const char* title,
   }
 
   if (!json_path.empty()) {
-    std::string json = SweepRunner::MergeJson(outcomes);
+    std::string json = MergeRepeatJson(outcomes, repeat);
     FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot open %s\n", json_path.c_str());

@@ -2,19 +2,24 @@
 // harness. Emits BENCH_sim_hotpath.json (repo root by convention) so each
 // PR's numbers land on a trajectory instead of vanishing into a terminal.
 //
-// Three sections:
-//   1. event_churn   — pure Simulator::Schedule/PopAndRun throughput with
-//                      protocol-sized closures (no protocol logic), the
-//                      hot path in isolation;
-//   2. experiments   — full single-threaded runs (YCSB+Lion, TPCC+2PC),
-//                      simulator events/sec including real event bodies;
-//   3. sweep         — an 8-config grid through SweepRunner at 1..N threads,
-//                      wall-clock scaling plus a determinism check (merged
-//                      JSON at threads=1 must equal threads=N).
+// Four sections:
+//   1. event_churn      — pure Simulator::Schedule/PopAndRun throughput with
+//                         protocol-sized closures (no protocol logic), the
+//                         hot path in isolation (default scheduler);
+//   2. scheduler_churn  — heap vs calendar A/B across queue-depth x
+//                         timer-skew cells, with a pop-clock digest check
+//                         asserting both orders are identical;
+//   3. experiments      — full single-threaded runs (YCSB+Lion, TPCC+2PC),
+//                         simulator events/sec including real event bodies;
+//   4. sweep            — an 8-config grid through SweepRunner at 1..N
+//                         threads, wall-clock scaling plus a determinism
+//                         check (merged JSON at threads=1 must equal
+//                         threads=N).
 //
 // Flags: --out=PATH (default BENCH_sim_hotpath.json), --events=N,
 //        --threads=N (max pool for the sweep section), --fast (reduced
-//        matrix for CI smoke), --no-sweep, --label=STR (tag in the JSON).
+//        matrix for CI smoke), --no-sweep, --no-sched, --label=STR (tag in
+//        the JSON).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -74,7 +79,136 @@ ChurnResult EventChurn(uint64_t total_events) {
   return res;
 }
 
-// --- 2. Full experiments: events/sec with real event bodies ------------------
+// --- 2. Scheduler A/B: queue depth x timer skew ------------------------------
+
+// Delay shapes the cells sweep. "uniform" keeps every deadline near the
+// horizon (the calendar's best case); "bimodal" sends 1/8 of reschedules
+// ~500 bucket-rotations out (stressing the overflow list); "timer" mixes
+// dense work with ms-scale periodic deadlines, the epoch-driven shape from
+// STAR-style batch designs that motivated the calendar queue.
+enum class SkewDist { kUniform, kBimodal, kTimer };
+
+const char* SkewName(SkewDist d) {
+  switch (d) {
+    case SkewDist::kUniform: return "uniform";
+    case SkewDist::kBimodal: return "bimodal";
+    case SkewDist::kTimer: return "timer";
+  }
+  return "?";
+}
+
+struct SchedCell {
+  std::string dist;
+  int depth = 0;
+  double heap_eps = 0.0;
+  double calendar_eps = 0.0;
+  double speedup = 0.0;
+  bool digest_match = false;
+};
+
+struct SchedRun {
+  double events_per_sec = 0.0;
+  uint64_t digest = 0;
+};
+
+// One cell: `depth` self-rescheduling chains, `total` events, delays drawn
+// from the cell's distribution by a per-chain deterministic RNG. The digest
+// folds every pop's clock in execution order, so a single out-of-order pop
+// anywhere diverges the heap and calendar digests.
+SchedRun SchedulerChurnRun(SchedulerKind kind, SkewDist dist, int depth,
+                           uint64_t total) {
+  Simulator sim(1234, SimConfig{kind});
+  uint64_t remaining = total;
+  uint64_t digest = 0;
+
+  struct Chain {
+    Simulator* sim;
+    uint64_t* remaining;
+    uint64_t* digest;
+    uint64_t state;
+    SkewDist dist;
+    int index;
+
+    SimTime NextDelay() {
+      // xorshift64*: cheap, deterministic, identical across schedulers.
+      state ^= state >> 12;
+      state ^= state << 25;
+      state ^= state >> 27;
+      uint64_t r = state * 0x2545f4914f6cdd1dull;
+      switch (dist) {
+        case SkewDist::kUniform:
+          return static_cast<SimTime>(50 + r % 100);
+        case SkewDist::kBimodal:
+          return (r % 8 == 0) ? 100 * kMicrosecond
+                              : static_cast<SimTime>(r % 200);
+        case SkewDist::kTimer:
+          // One chain in 16 is a fixed-period millisecond timer; the rest
+          // are dense near-horizon work.
+          if (index % 16 == 0) return 1 * kMillisecond;
+          return static_cast<SimTime>(r % 200);
+      }
+      return 100;
+    }
+
+    void Step() {
+      if (*remaining == 0) return;
+      --*remaining;
+      // Fold the chain identity in as well as the clock: same-tick pops
+      // from different chains would otherwise contribute identical terms,
+      // hiding FIFO tie-order inversions from the digest.
+      *digest = *digest * 31 + static_cast<uint64_t>(sim->Now()) * 1315423911u +
+                static_cast<uint64_t>(index);
+      sim->Schedule(NextDelay(), [this]() { Step(); });
+    }
+  };
+
+  std::vector<Chain> chains;
+  chains.reserve(static_cast<size_t>(depth));
+  for (int i = 0; i < depth; ++i) {
+    chains.push_back(Chain{&sim, &remaining, &digest,
+                           0x9e3779b97f4a7c15ull + static_cast<uint64_t>(i),
+                           dist, i});
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  for (Chain& c : chains) c.Step();
+  sim.RunUntilIdle();
+  SchedRun res;
+  res.events_per_sec =
+      static_cast<double>(sim.processed_events()) / WallSeconds(t0);
+  res.digest = digest;
+  return res;
+}
+
+std::vector<SchedCell> RunSchedulerChurn(bool fast) {
+  const uint64_t total = fast ? 250'000 : 1'000'000;
+  std::vector<SchedCell> cells;
+  for (SkewDist dist :
+       {SkewDist::kUniform, SkewDist::kBimodal, SkewDist::kTimer}) {
+    for (int depth : {64, 1024, 8192}) {
+      SchedRun heap =
+          SchedulerChurnRun(SchedulerKind::kHeap, dist, depth, total);
+      SchedRun cal =
+          SchedulerChurnRun(SchedulerKind::kCalendar, dist, depth, total);
+      SchedCell cell;
+      cell.dist = SkewName(dist);
+      cell.depth = depth;
+      cell.heap_eps = heap.events_per_sec;
+      cell.calendar_eps = cal.events_per_sec;
+      cell.speedup = cal.events_per_sec / heap.events_per_sec;
+      cell.digest_match = heap.digest == cal.digest;
+      std::printf(
+          "scheduler_churn: dist=%-7s depth=%-5d heap=%6.2f M ev/s  "
+          "calendar=%6.2f M ev/s  (%.2fx)%s\n",
+          cell.dist.c_str(), depth, cell.heap_eps / 1e6,
+          cell.calendar_eps / 1e6, cell.speedup,
+          cell.digest_match ? "" : "  DIGEST MISMATCH");
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+// --- 3. Full experiments: events/sec with real event bodies ------------------
 
 struct MacroResult {
   std::string name;
@@ -127,7 +261,7 @@ MacroResult RunMacro(const std::string& name, const ExperimentConfig& cfg) {
   return res;
 }
 
-// --- 3. Sweep scaling --------------------------------------------------------
+// --- 4. Sweep scaling --------------------------------------------------------
 
 struct SweepScaling {
   size_t configs = 0;
@@ -245,6 +379,7 @@ int main(int argc, char** argv) {
   uint64_t churn_events = 4'000'000;
   bool fast = bench::FastMode();
   bool run_sweep = true;
+  bool run_sched = true;
   int max_threads = static_cast<int>(std::thread::hardware_concurrency());
   if (max_threads < 1) max_threads = 1;
 
@@ -264,6 +399,8 @@ int main(int argc, char** argv) {
       fast = true;
     } else if (std::strcmp(a, "--no-sweep") == 0) {
       run_sweep = false;
+    } else if (std::strcmp(a, "--no-sched") == 0) {
+      run_sched = false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       return 1;
@@ -277,6 +414,9 @@ int main(int argc, char** argv) {
   std::printf("event_churn: %llu events in %.3fs -> %.2f M events/s\n",
               static_cast<unsigned long long>(churn.events), churn.wall_s,
               churn.events_per_sec / 1e6);
+
+  std::vector<SchedCell> sched_cells;
+  if (run_sched) sched_cells = RunSchedulerChurn(fast);
 
   std::vector<MacroResult> macros;
   macros.push_back(RunMacro("ycsb_lion", YcsbLion(fast)));
@@ -313,7 +453,25 @@ int main(int argc, char** argv) {
   AppendKv(&json, "events", churn.events, &f2);
   AppendKv(&json, "wall_s", churn.wall_s, &f2);
   AppendKv(&json, "events_per_sec", churn.events_per_sec, &f2);
-  json += "},\"experiments\":[";
+  json += "}";
+  if (!sched_cells.empty()) {
+    json += ",\"scheduler_churn\":[";
+    for (size_t i = 0; i < sched_cells.size(); ++i) {
+      const SchedCell& c = sched_cells[i];
+      if (i > 0) json += ",";
+      json += "{";
+      bool fc = true;
+      AppendKv(&json, "dist", c.dist, &fc);
+      AppendKv(&json, "depth", static_cast<uint64_t>(c.depth), &fc);
+      AppendKv(&json, "heap_eps", c.heap_eps, &fc);
+      AppendKv(&json, "calendar_eps", c.calendar_eps, &fc);
+      AppendKv(&json, "speedup", c.speedup, &fc);
+      AppendKv(&json, "digest_match", c.digest_match, &fc);
+      json += "}";
+    }
+    json += "]";
+  }
+  json += ",\"experiments\":[";
   for (size_t i = 0; i < macros.size(); ++i) {
     const MacroResult& m = macros[i];
     if (i > 0) json += ",";
@@ -356,5 +514,17 @@ int main(int argc, char** argv) {
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
+
+  // Throughput is advisory (machines jitter); digest equality is not — a
+  // heap/calendar divergence is a determinism bug and fails the run.
+  for (const SchedCell& c : sched_cells) {
+    if (!c.digest_match) {
+      std::fprintf(stderr,
+                   "scheduler digest mismatch at dist=%s depth=%d — heap and "
+                   "calendar popped different orders\n",
+                   c.dist.c_str(), c.depth);
+      return 1;
+    }
+  }
   return 0;
 }

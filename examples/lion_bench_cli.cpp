@@ -59,22 +59,39 @@ void PrintUsage() {
       "  --filter=SUBSTR    run only points whose name contains SUBSTR\n"
       "  --threads=N        sweep pool size (default hardware_concurrency)\n"
       "  --repeat=N         run each point N times with derived seeds and\n"
-      "                     report per-metric medians (+ min/max)\n"
+      "                     report per-metric medians (+ min/max); with\n"
+      "                     --json each point aggregates into median/min/max\n"
+      "                     blocks instead of one record per run\n"
       "  --json             emit the merged sweep JSON instead of summaries\n\n"
       "discovery:\n"
       "  --list             registered protocols and workloads\n"
-      "  --flags            every derived --KEY flag with its description\n"
+      "  --flags            every derived --KEY flag, grouped by config\n"
+      "                     section (--flags=md for a markdown dump)\n"
       "  --help             this text\n");
 }
 
 void PrintFlags() {
-  std::vector<std::pair<std::string, std::string>> paths;
-  ExperimentConfigSchema().ListPaths("", &paths);
+  // Grouped by top-level config section, both derived from the schema —
+  // the listing and the section help never go stale by hand.
+  std::vector<ConfigFlagGroup> groups =
+      ListFlagGroups(ExperimentConfigSchema());
   size_t width = 0;
-  for (const auto& p : paths) width = std::max(width, p.first.size());
-  for (const auto& p : paths) {
-    std::printf("  --%-*s  %s\n", static_cast<int>(width), p.first.c_str(),
-                p.second.c_str());
+  for (const ConfigFlagGroup& g : groups) {
+    for (const auto& f : g.flags) width = std::max(width, f.first.size());
+  }
+  bool first = true;
+  for (const ConfigFlagGroup& g : groups) {
+    if (!first) std::printf("\n");
+    first = false;
+    if (g.name.empty()) {
+      std::printf("top-level:\n");
+    } else {
+      std::printf("%s — %s:\n", g.name.c_str(), g.help.c_str());
+    }
+    for (const auto& f : g.flags) {
+      std::printf("  --%-*s  %s\n", static_cast<int>(width), f.first.c_str(),
+                  f.second.c_str());
+    }
   }
 }
 
@@ -110,7 +127,7 @@ int RunSweep(const std::string& sweep_path, const std::string& filter,
   std::vector<SweepOutcome> outcomes = runner.Run();
 
   if (json) {
-    std::printf("%s\n", SweepRunner::MergeJson(outcomes).c_str());
+    std::printf("%s\n", MergeRepeatJson(outcomes, repeat).c_str());
     bool all_ok = true;
     for (const SweepOutcome& o : outcomes) all_ok &= o.status.ok();
     return all_ok ? 0 : 1;
@@ -140,6 +157,11 @@ int main(int argc, char** argv) {
       return 0;
     } else if (std::strcmp(a, "--flags") == 0) {
       PrintFlags();
+      return 0;
+    } else if (std::strcmp(a, "--flags=md") == 0) {
+      std::printf("%s", FlagsMarkdown(ExperimentConfigSchema(),
+                                      "lion_bench_cli flag reference")
+                            .c_str());
       return 0;
     } else if (std::strcmp(a, "--help") == 0) {
       PrintUsage();

@@ -44,6 +44,11 @@ class SlotPool {
     free_.reserve(n);
   }
 
+  /// Number of currently parked values. Owners that mirror the pool with
+  /// their own pending count (the simulator's schedulers, the worker pool)
+  /// assert against this to catch leaked or double-taken slots.
+  size_t in_use() const { return slots_.size() - free_.size(); }
+
  private:
   std::vector<T> slots_;
   std::vector<uint32_t> free_;

@@ -2,9 +2,7 @@
 
 namespace lion {
 
-namespace {
-
-const char* CodeName(Status::Code code) {
+const char* StatusCodeName(Status::Code code) {
   switch (code) {
     case Status::Code::kOk:
       return "OK";
@@ -26,11 +24,9 @@ const char* CodeName(Status::Code code) {
   return "UNKNOWN";
 }
 
-}  // namespace
-
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   if (!message_.empty()) {
     out += ": ";
     out += message_;

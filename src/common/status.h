@@ -70,4 +70,8 @@ class Status {
   std::string message_;
 };
 
+/// Stable identifier ("OK", "NOT_FOUND", ...) for a status code — the one
+/// switch shared by Status::ToString and every JSON emitter.
+const char* StatusCodeName(Status::Code code);
+
 }  // namespace lion

@@ -492,6 +492,19 @@ const ConfigSchema& ClayConfigSchema() {
   return schema;
 }
 
+const ConfigSchema& SimConfigSchema() {
+  static const ConfigSchema schema = [] {
+    ConfigSchemaBuilder<SimConfig> b("SimConfig");
+    b.Enum("scheduler", &SimConfig::scheduler,
+           {{"calendar", SchedulerKind::kCalendar},
+            {"heap", SchedulerKind::kHeap}},
+           "event-queue implementation (identical results, different speed): "
+           "bucketed calendar queue or reference 4-ary heap");
+    return std::move(b).Build();
+  }();
+  return schema;
+}
+
 const ConfigSchema& ExperimentConfigSchema() {
   static const ConfigSchema schema = [] {
     ConfigSchemaBuilder<ExperimentConfig> b("ExperimentConfig");
@@ -525,9 +538,54 @@ const ConfigSchema& ExperimentConfigSchema() {
              PredictorConfigSchema(), "LSTM workload predictor");
     b.Nested("clay", &ExperimentConfig::clay, ClayConfigSchema(),
              "Clay baseline options");
+    b.Nested("sim", &ExperimentConfig::sim, SimConfigSchema(),
+             "simulator internals (scheduler choice; never affects results)");
     return std::move(b).Build();
   }();
   return schema;
+}
+
+// --- derived flag surface ----------------------------------------------------
+
+std::vector<ConfigFlagGroup> ListFlagGroups(const ConfigSchema& schema) {
+  std::vector<ConfigFlagGroup> groups;
+  ConfigFlagGroup root;  // the schema's own scalars, in declaration order
+  for (const ConfigFieldSpec& f : schema.fields()) {
+    if (f.nested == nullptr) {
+      root.flags.emplace_back(f.name, f.help);
+      continue;
+    }
+    ConfigFlagGroup group;
+    group.name = f.name;
+    group.help = f.help;
+    f.nested->ListPaths(f.name, &group.flags);
+    groups.push_back(std::move(group));
+  }
+  if (!root.flags.empty()) groups.insert(groups.begin(), std::move(root));
+  return groups;
+}
+
+std::string FlagsMarkdown(const ConfigSchema& schema,
+                          const std::string& title) {
+  std::string md = "# " + title + "\n\n";
+  md += "Every field below is settable as `--<flag>=<value>` on the command "
+        "line, as a dotted\npath in a JSON sweep axis, or as a (nested) key "
+        "in a `--config` file. Derived from\nthe declared schema of `";
+  md += schema.struct_name();
+  md += "` — this listing never goes stale by hand.\n";
+  for (const ConfigFlagGroup& g : ListFlagGroups(schema)) {
+    md += "\n## ";
+    md += g.name.empty() ? "top-level" : g.name;
+    if (!g.help.empty()) {
+      md += " — ";
+      md += g.help;
+    }
+    md += "\n\n| flag | description |\n| --- | --- |\n";
+    for (const auto& f : g.flags) {
+      md += "| `--" + f.first + "` | " + f.second + " |\n";
+    }
+  }
+  return md;
 }
 
 // --- typed conveniences -----------------------------------------------------

@@ -47,6 +47,7 @@ struct CostModelConfig;
 struct PredictorConfig;
 struct LstmConfig;
 struct ClayConfig;
+struct SimConfig;
 
 /// Joins a dotted path prefix with a field name ("" + "ycsb" -> "ycsb",
 /// "ycsb" + "cross_ratio" -> "ycsb.cross_ratio").
@@ -417,7 +418,27 @@ const ConfigSchema& PlanGeneratorConfigSchema();
 const ConfigSchema& PlannerConfigSchema();
 const ConfigSchema& LionOptionsSchema();
 const ConfigSchema& ClayConfigSchema();
+const ConfigSchema& SimConfigSchema();
 const ConfigSchema& ExperimentConfigSchema();
+
+// --- derived flag surface ----------------------------------------------------
+
+/// One top-level section of the flag surface: the root group ("" — the
+/// schema's own scalar fields) or one nested struct field, with every scalar
+/// leaf under it flattened to (dotted path, help).
+struct ConfigFlagGroup {
+  std::string name;  // "" for the root group, else the nested field's name
+  std::string help;  // the nested field's declared help ("" for the root)
+  std::vector<std::pair<std::string, std::string>> flags;
+};
+
+/// Splits ListPaths output into per-struct groups, declaration order
+/// preserved: root scalars first, then one group per nested field.
+std::vector<ConfigFlagGroup> ListFlagGroups(const ConfigSchema& schema);
+
+/// Renders the full flag surface as a markdown document (one section and
+/// table per group) for docs and `--flags=md`.
+std::string FlagsMarkdown(const ConfigSchema& schema, const std::string& title);
 
 // --- typed conveniences over ExperimentConfigSchema() -----------------------
 Status ParseExperimentConfig(const Json& v, ExperimentConfig* out);

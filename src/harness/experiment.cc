@@ -121,7 +121,7 @@ Status ExperimentBuilder::Build(std::unique_ptr<Experiment>* out) const {
   auto ex = std::unique_ptr<Experiment>(new Experiment());
   ex->config_ = config_;
   ex->window_callbacks_ = window_callbacks_;
-  ex->sim_ = std::make_unique<Simulator>(config_.seed);
+  ex->sim_ = std::make_unique<Simulator>(config_.seed, config_.sim);
   ex->cluster_ = std::make_unique<lion::Cluster>(ex->sim_.get(),
                                                  config_.cluster);
   ex->metrics_ =

@@ -9,6 +9,7 @@
 #include "core/predictor.h"
 #include "protocols/clay.h"
 #include "replication/cluster_config.h"
+#include "sim/sim_config.h"
 #include "workload/tpcc.h"
 #include "workload/ycsb.h"
 
@@ -36,6 +37,10 @@ struct ExperimentConfig {
   LionOptions lion;          // tuned per variant by the registered factories
   PredictorConfig predictor;
   ClayConfig clay;
+  /// Simulator internals (event-scheduler choice); results are identical
+  /// under every setting, so this is a performance A/B knob, sweepable like
+  /// any other field.
+  SimConfig sim;
 };
 
 }  // namespace lion

@@ -26,6 +26,93 @@ double DistPct(const ExperimentResult& r) {
          static_cast<double>(r.committed);
 }
 
+/// The scalar result metrics that aggregate across repeat runs, declared
+/// once: JSON key, extractor, and whether the value emits as an integer.
+struct MetricSpec {
+  const char* key;
+  double (*get)(const ExperimentResult&);
+  bool integral;
+};
+
+const MetricSpec kAggregatedMetrics[] = {
+    {"throughput_txn_s", [](const ExperimentResult& r) { return r.throughput; },
+     false},
+    {"committed",
+     [](const ExperimentResult& r) { return static_cast<double>(r.committed); },
+     true},
+    {"aborts",
+     [](const ExperimentResult& r) { return static_cast<double>(r.aborts); },
+     true},
+    {"single_node",
+     [](const ExperimentResult& r) {
+       return static_cast<double>(r.single_node);
+     },
+     true},
+    {"remastered",
+     [](const ExperimentResult& r) {
+       return static_cast<double>(r.remastered);
+     },
+     true},
+    {"distributed",
+     [](const ExperimentResult& r) {
+       return static_cast<double>(r.distributed);
+     },
+     true},
+    {"p10_us", [](const ExperimentResult& r) { return r.p10_us; }, false},
+    {"p50_us", [](const ExperimentResult& r) { return r.p50_us; }, false},
+    {"p95_us", [](const ExperimentResult& r) { return r.p95_us; }, false},
+    {"p99_us", [](const ExperimentResult& r) { return r.p99_us; }, false},
+    {"bytes_per_txn",
+     [](const ExperimentResult& r) { return r.bytes_per_txn; }, false},
+    {"remasters",
+     [](const ExperimentResult& r) { return static_cast<double>(r.remasters); },
+     true},
+    {"migrations",
+     [](const ExperimentResult& r) {
+       return static_cast<double>(r.migrations);
+     },
+     true},
+    {"migrated_bytes",
+     [](const ExperimentResult& r) {
+       return static_cast<double>(r.migrated_bytes);
+     },
+     true},
+};
+
+void AppendMetricValue(std::string* out, double v, bool integral) {
+  if (integral) {
+    *out += std::to_string(static_cast<long long>(v));
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+/// One {"metric":value,...} block over the group's successful results,
+/// reduced by `pick` (median / min / max over the sorted per-metric values).
+void AppendMetricBlock(std::string* out, const char* label,
+                       const std::vector<const ExperimentResult*>& results,
+                       size_t (*pick)(size_t n)) {
+  *out += "\"";
+  *out += label;
+  *out += "\":{";
+  bool first = true;
+  std::vector<double> values;
+  for (const MetricSpec& m : kAggregatedMetrics) {
+    values.clear();
+    for (const ExperimentResult* r : results) values.push_back(m.get(*r));
+    std::sort(values.begin(), values.end());
+    if (!first) *out += ",";
+    first = false;
+    *out += "\"";
+    *out += m.key;
+    *out += "\":";
+    AppendMetricValue(out, values[pick(values.size())], m.integral);
+  }
+  *out += "}";
+}
+
 }  // namespace
 
 bool StderrIsTty() { return isatty(fileno(stderr)) != 0; }
@@ -70,6 +157,70 @@ SweepOptions::ProgressFn MakeSweepProgress(bool enabled, size_t total) {
                  total, eta, outcome.name.c_str());
     if (done == total) std::fputc('\n', stderr);
   };
+}
+
+std::string MergeRepeatJson(const std::vector<SweepOutcome>& outcomes,
+                            int repeat) {
+  if (repeat <= 1) return SweepRunner::MergeJson(outcomes);
+  const size_t n = static_cast<size_t>(repeat);
+  std::string json = "{\"sweep_size\":";
+  json += std::to_string((outcomes.size() + n - 1) / n);
+  json += ",\"repeat\":";
+  json += std::to_string(repeat);
+  json += ",\"runs\":[";
+  bool first_group = true;
+  for (size_t base = 0; base < outcomes.size(); base += n) {
+    size_t group_end = std::min(outcomes.size(), base + n);
+    std::vector<const ExperimentResult*> ok;
+    const SweepOutcome* first_failure = nullptr;
+    size_t first_ok_rep = 0;  // rep index of ok.front() within the group
+    for (size_t i = base; i < group_end; ++i) {
+      if (outcomes[i].status.ok()) {
+        if (ok.empty()) first_ok_rep = i - base;
+        ok.push_back(&outcomes[i].result);
+      } else if (first_failure == nullptr) {
+        first_failure = &outcomes[i];
+      }
+    }
+    // Strip the "/rep=k" suffix back off for the group's record name.
+    std::string name = outcomes[base].name;
+    size_t cut = name.rfind("/rep=");
+    if (cut != std::string::npos) name = name.substr(0, cut);
+
+    if (!first_group) json += ",";
+    first_group = false;
+    json += "{\"name\":\"";
+    AppendJsonEscaped(&json, name);
+    json += "\",\"status\":\"";
+    json += ok.empty() ? StatusCodeName(first_failure->status.code()) : "OK";
+    json += "\",\"runs_ok\":";
+    json += std::to_string(ok.size());
+    if (ok.empty()) {
+      json += ",\"error\":\"";
+      AppendJsonEscaped(&json, first_failure->status.message());
+      json += "\"}";
+      continue;
+    }
+    json += ",\"protocol\":\"";
+    AppendJsonEscaped(&json, ok.front()->protocol);
+    json += "\",\"workload\":\"";
+    AppendJsonEscaped(&json, ok.front()->workload);
+    // Repeat k derives its seed as base + k, so the base seed names the
+    // whole family — recovered from the first *successful* run's seed and
+    // its rep offset, in case earlier reps failed.
+    json += "\",\"seed_base\":";
+    json += std::to_string(ok.front()->seed -
+                           static_cast<uint64_t>(first_ok_rep));
+    json += ",";
+    AppendMetricBlock(&json, "median", ok, [](size_t c) { return c / 2; });
+    json += ",";
+    AppendMetricBlock(&json, "min", ok, [](size_t) { return size_t{0}; });
+    json += ",";
+    AppendMetricBlock(&json, "max", ok, [](size_t c) { return c - 1; });
+    json += "}";
+  }
+  json += "]}";
+  return json;
 }
 
 bool PrintSweepSummaries(std::FILE* out,

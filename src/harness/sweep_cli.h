@@ -27,6 +27,21 @@ std::vector<SweepPoint> ExpandRepeat(std::vector<SweepPoint> points,
 /// Pass enabled=false (not a TTY, --json mode) for a no-op hook.
 SweepOptions::ProgressFn MakeSweepProgress(bool enabled, size_t total);
 
+/// Merged sweep JSON with repeat runs aggregated per point. With
+/// `repeat <= 1` this is exactly SweepRunner::MergeJson. Otherwise each
+/// declared point becomes one record carrying per-metric "median"/"min"/
+/// "max" blocks over its successful runs (element-wise across the scalar
+/// result fields; series are omitted — they live in individual-run mode):
+///   {"sweep_size":N,"repeat":R,"runs":[
+///     {"name":"Fig7a/Lion/cross=50","status":"OK","runs_ok":5,
+///      "protocol":"Lion","workload":"ycsb","seed_base":1,
+///      "median":{"throughput_txn_s":...,...},"min":{...},"max":{...}}]}
+/// A point whose runs all failed reports the first failure's status/error.
+/// Aggregation is order-deterministic, so the threads=1 vs threads=N
+/// byte-identity guarantee of MergeJson carries over.
+std::string MergeRepeatJson(const std::vector<SweepOutcome>& outcomes,
+                            int repeat);
+
 /// Prints one summary line per declared point, in declaration order. With
 /// repeat > 1 the line reports the per-metric median across that point's
 /// runs plus the throughput min/max spread:

@@ -8,25 +8,6 @@
 
 namespace lion {
 
-namespace {
-
-// Status codes rendered as stable identifiers for the merged JSON.
-const char* CodeName(Status::Code code) {
-  switch (code) {
-    case Status::Code::kOk: return "OK";
-    case Status::Code::kNotFound: return "NOT_FOUND";
-    case Status::Code::kAlreadyExists: return "ALREADY_EXISTS";
-    case Status::Code::kInvalidArgument: return "INVALID_ARGUMENT";
-    case Status::Code::kFailedPrecondition: return "FAILED_PRECONDITION";
-    case Status::Code::kAborted: return "ABORTED";
-    case Status::Code::kUnavailable: return "UNAVAILABLE";
-    case Status::Code::kInternal: return "INTERNAL";
-  }
-  return "UNKNOWN";
-}
-
-}  // namespace
-
 SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {}
 
 void SweepRunner::Add(std::string name, ExperimentConfig config) {
@@ -89,7 +70,7 @@ std::string SweepRunner::MergeJson(const std::vector<SweepOutcome>& outcomes) {
     json += "{\"name\":\"";
     AppendJsonEscaped(&json, o.name);
     json += "\",\"status\":\"";
-    json += CodeName(o.status.code());
+    json += StatusCodeName(o.status.code());
     json += "\"";
     if (o.status.ok()) {
       json += ",\"result\":";

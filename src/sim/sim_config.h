@@ -1,0 +1,24 @@
+// Simulator tuning knobs, split from the simulator itself so config structs
+// (harness/experiment_config.h) can carry them without pulling in the event
+// queue machinery.
+#pragma once
+
+namespace lion {
+
+/// Which event-queue implementation orders the simulation.
+///
+/// Both schedulers dispatch events in the exact (time, insertion sequence)
+/// total order, so a run is bit-for-bit identical under either — the knob
+/// trades data structures, not semantics. `kHeap` is the reference 4-ary
+/// implicit heap (O(log n) per operation); `kCalendar` is the bucketed
+/// calendar queue (O(1) amortized schedule→dispatch, the default).
+enum class SchedulerKind {
+  kHeap,
+  kCalendar,
+};
+
+struct SimConfig {
+  SchedulerKind scheduler = SchedulerKind::kCalendar;
+};
+
+}  // namespace lion

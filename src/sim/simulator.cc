@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <utility>
 
 namespace lion {
@@ -11,16 +12,74 @@ namespace {
 // hundred to a few thousand events pending), so the hot path never
 // reallocates — and never move-relocates every queued closure — mid-run.
 constexpr size_t kInitialCapacity = 4096;
+
+// Calendar geometry bounds. The bucket count tracks occupancy between
+// rebuilds (kMinBuckets caps the fixed walk cost of sparse queues, the max
+// caps memory); the shift caps bucket width at 2^40 ns (~18 simulated
+// minutes), far past any experiment horizon.
+constexpr size_t kMinBuckets = 32;
+constexpr size_t kMaxBuckets = size_t{1} << 18;
+constexpr uint32_t kMaxBucketShift = 40;
+// ~1 us buckets until the first resample.
+constexpr uint32_t kInitBucketShift = 10;
+
+// Geometry also resamples on a pop cadence (every max(kResampleMinOps,
+// 8 x pending) pops), not just on occupancy drift: a queue that holds a
+// steady *count* of events can still have its delay distribution shift out
+// from under a frozen bucket width — too wide concentrates everything in
+// one bucket (memmove-heavy ordered inserts), too narrow spills everything
+// to overflow. The cadence bounds either mispairing to a few thousand ops.
+constexpr size_t kResampleMinOps = 8192;
+
+// Consumed-prefix compaction threshold for buckets and the overflow list:
+// erase the dead prefix once it is both sizable and at least half the
+// vector, so memory stays bounded at O(live) with amortized O(1) moves.
+constexpr size_t kCompactMinHead = 64;
+
+// Out-of-order inserts into a sorted bucket splice into place while the
+// bucket holds at most this many live entries (a short memmove); bigger
+// buckets fall back to append + lazy re-sort on the next pop. Shallow
+// steady states (a closed-loop driver keeps tens of events pending, often
+// all in one bucket) would otherwise flap the sorted flag and re-sort the
+// whole bucket on every few pops.
+constexpr size_t kOrderedInsertMax = 48;
+
+// Overflow inserts splice into sorted position when that position is within
+// this many entries of the back (the overwhelmingly common case: far
+// deadlines grow with the clock); a deeper insert falls back to append +
+// lazy re-sort. Bounds the per-insert memmove without giving up the
+// sorted-overflow fast path that epoch-batch workloads lean on.
+constexpr size_t kOverflowSpliceMax = 256;
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
 }  // namespace
 
-Simulator::Simulator(uint64_t seed)
-    : now_(0), next_seq_(0), processed_(0), strong_pending_(0), rng_(seed) {
-  queue_.reserve(kInitialCapacity);
+Simulator::Simulator(uint64_t seed, SimConfig config)
+    : config_(config),
+      now_(0),
+      next_seq_(0),
+      processed_(0),
+      strong_pending_(0),
+      pending_(0),
+      rng_(seed) {
   slots_.Reserve(kInitialCapacity);
+  if (config_.scheduler == SchedulerKind::kHeap) {
+    queue_.reserve(kInitialCapacity);
+  } else {
+    buckets_.resize(kMinBuckets * 2);
+    bucket_mask_ = buckets_.size() - 1;
+    bucket_shift_ = kInitBucketShift;
+  }
 }
 
+// --- reference scheduler: 4-ary heap -----------------------------------------
+
 void Simulator::SiftUp(size_t i) {
-  HeapEntry e = queue_[i];
+  Entry e = queue_[i];
   while (i > 0) {
     size_t parent = (i - 1) >> 2;
     if (!Earlier(e, queue_[parent])) break;
@@ -32,7 +91,7 @@ void Simulator::SiftUp(size_t i) {
 
 void Simulator::SiftDown() {
   size_t n = queue_.size();
-  HeapEntry e = queue_[0];
+  Entry e = queue_[0];
   size_t i = 0;
   for (;;) {
     size_t first = (i << 2) + 1;
@@ -49,11 +108,255 @@ void Simulator::SiftDown() {
   queue_[i] = e;
 }
 
+bool Simulator::HeapPopIfAtMost(SimTime limit, Entry* out) {
+  if (queue_.empty() || queue_.front().at > limit) return false;
+  *out = queue_.front();
+  queue_.front() = queue_.back();
+  queue_.pop_back();
+  if (!queue_.empty()) SiftDown();
+  pending_--;
+  return true;
+}
+
+// --- calendar queue ----------------------------------------------------------
+
+void Simulator::CalPlace(const Entry& e) {
+  uint64_t eb = static_cast<uint64_t>(e.at) >> bucket_shift_;
+  uint64_t nb = static_cast<uint64_t>(now_) >> bucket_shift_;
+  if (eb - nb >= buckets_.size()) {
+    // Beyond one rotation of the ring: park in the far-future overflow
+    // list, kept sorted like a bucket. Far deadlines grow with the clock
+    // (timer re-arms, txn completions at now + delay), so new entries land
+    // at or near the back — an append or a short splice. Only an insert
+    // whose position is far from the back (rare: a short deadline arriving
+    // while a long backlog is parked) marks the list dirty for a lazy
+    // re-sort at the next overflow pop.
+    if (overflow_head_ == overflow_.size() || !overflow_sorted_ ||
+        !Earlier(e, overflow_.back())) {
+      overflow_.push_back(e);
+      return;
+    }
+    auto pos = std::upper_bound(overflow_.begin() + overflow_head_,
+                                overflow_.end(), e, Earlier);
+    if (overflow_.end() - pos <=
+        static_cast<std::ptrdiff_t>(kOverflowSpliceMax)) {
+      overflow_.insert(pos, e);
+      return;
+    }
+    overflow_sorted_ = false;
+    overflow_.push_back(e);
+    return;
+  }
+  Bucket& b = buckets_[eb & bucket_mask_];
+  cal_size_++;
+  if (b.head == b.ev.size() || !b.sorted || !Earlier(e, b.ev.back())) {
+    b.ev.push_back(e);  // empty, already dirty, or in-order append
+    return;
+  }
+  if (b.ev.size() - b.head <= kOrderedInsertMax) {
+    b.ev.insert(
+        std::upper_bound(b.ev.begin() + b.head, b.ev.end(), e, Earlier), e);
+    return;
+  }
+  b.sorted = false;
+  b.ev.push_back(e);
+}
+
+bool Simulator::CalPopIfAtMost(SimTime limit, Entry* out) {
+  const size_t overflow_live = overflow_.size() - overflow_head_;
+  if (cal_size_ == 0 && overflow_live == 0) return false;
+
+  Bucket* found = nullptr;
+  if (cal_size_ > 0) {
+    const uint32_t shift = bucket_shift_;
+    const uint64_t start = static_cast<uint64_t>(now_) >> shift;
+    const size_t nbuckets = buckets_.size();
+    for (uint64_t step = 0; step < nbuckets; ++step) {
+      Bucket& b = buckets_[(start + step) & bucket_mask_];
+      if (b.head == b.ev.size()) continue;
+      if (!b.sorted) {
+        std::sort(b.ev.begin() + b.head, b.ev.end(), Earlier);
+        b.sorted = true;
+      }
+      // The bucket's live minimum wins iff it belongs to the current lap
+      // of the ring; a head from a later lap means this slot is empty for
+      // now and the walk continues.
+      if ((static_cast<uint64_t>(b.ev[b.head].at) >> shift) <= start + step) {
+        found = &b;
+        break;
+      }
+    }
+    // Admission re-checks `at` against the advancing clock on every insert
+    // and rebuild, so every bucketed entry sits within one rotation of
+    // now_ and the walk above always finds the bucketed minimum. The scan
+    // below is defensive only.
+    assert(found != nullptr);
+    if (found == nullptr) {
+      for (Bucket& b : buckets_) {
+        if (b.head == b.ev.size()) continue;
+        if (!b.sorted) {
+          std::sort(b.ev.begin() + b.head, b.ev.end(), Earlier);
+          b.sorted = true;
+        }
+        if (found == nullptr ||
+            Earlier(b.ev[b.head], found->ev[found->head])) {
+          found = &b;
+        }
+      }
+    }
+  }
+
+  const Entry* best = found != nullptr ? &found->ev[found->head] : nullptr;
+  bool from_overflow = false;
+  if (overflow_live > 0) {
+    // Overflow can undercut the bucketed minimum: an entry parked beyond
+    // the horizon long ago may be nearer than anything admitted since.
+    if (!overflow_sorted_) {
+      std::sort(overflow_.begin() + overflow_head_, overflow_.end(), Earlier);
+      overflow_sorted_ = true;
+    }
+    if (best == nullptr || Earlier(overflow_[overflow_head_], *best)) {
+      best = &overflow_[overflow_head_];
+      from_overflow = true;
+    }
+  }
+
+  if (best->at > limit) return false;
+  *out = *best;
+  pending_--;
+  if (from_overflow) {
+    overflow_head_++;
+    if (overflow_head_ == overflow_.size()) {
+      overflow_.clear();
+      overflow_head_ = 0;
+      overflow_sorted_ = true;
+    } else if (overflow_head_ >= kCompactMinHead &&
+               overflow_head_ * 2 >= overflow_.size()) {
+      overflow_.erase(overflow_.begin(), overflow_.begin() + overflow_head_);
+      overflow_head_ = 0;
+    }
+  } else {
+    Bucket& b = *found;
+    b.head++;
+    if (b.head == b.ev.size()) {
+      b.ev.clear();
+      b.head = 0;
+      b.sorted = true;
+    } else if (b.head >= kCompactMinHead && b.head * 2 >= b.ev.size()) {
+      b.ev.erase(b.ev.begin(), b.ev.begin() + b.head);
+      b.head = 0;
+    }
+    cal_size_--;
+  }
+  const size_t live = cal_size_ + (overflow_.size() - overflow_head_);
+  if (live > 0 &&
+      ((live < buckets_.size() / 8 && buckets_.size() > kMinBuckets) ||
+       ++ops_since_rebuild_ >= std::max(kResampleMinOps, live * 8))) {
+    CalRebuild();
+  }
+  return true;
+}
+
+uint32_t Simulator::SampleBucketShift() {
+  // Width is ~2x the median gap between consecutive *distinct* pending
+  // deadlines, so a couple of distinct instants share a bucket and walks
+  // advance ~1 bucket per pop. Distinct values make the statistic immune
+  // to the two shapes that poison count-based sampling: tie masses (an
+  // epoch burst contributes one value, not thousands of zero gaps) and a
+  // handful of far-future timers (two big gaps cannot move the median).
+  // Whatever falls beyond the resulting rotation lands in the sorted
+  // overflow list, which near-back splicing keeps cheap. The O(n log n)
+  // sort amortizes: rebuilds fire on occupancy doubling or every
+  // ~8x-pending pops, so this costs a few comparisons per event.
+  const size_t n = scratch_.size();
+  if (n < 2) return bucket_shift_;
+  scratch_times_.clear();
+  scratch_times_.reserve(n);
+  for (const Entry& e : scratch_) scratch_times_.push_back(e.at);
+  std::sort(scratch_times_.begin(), scratch_times_.end());
+  scratch_gaps_.clear();
+  for (size_t i = 1; i < n; ++i) {
+    SimTime d = scratch_times_[i] - scratch_times_[i - 1];
+    if (d > 0) scratch_gaps_.push_back(d);
+  }
+  if (scratch_gaps_.empty()) return 0;  // every pending deadline ties
+  auto mid = scratch_gaps_.begin() +
+             static_cast<std::ptrdiff_t>(scratch_gaps_.size() / 2);
+  std::nth_element(scratch_gaps_.begin(), mid, scratch_gaps_.end());
+  double width = 2.0 * static_cast<double>(*mid);
+  uint32_t shift = 0;
+  while (shift < kMaxBucketShift &&
+         static_cast<double>(uint64_t{1} << (shift + 1)) <= width) {
+    shift++;
+  }
+  return shift;
+}
+
+void Simulator::CalRebuild() {
+  // Drain everything (buckets and overflow), re-derive geometry from the
+  // survivors, and re-admit. Triggered when occupancy drifts past the
+  // doubling/eighth thresholds, so the O(n) cost amortizes against the
+  // inserts/pops that caused the drift.
+  scratch_.clear();
+  for (Bucket& b : buckets_) {
+    for (size_t i = b.head; i < b.ev.size(); ++i) scratch_.push_back(b.ev[i]);
+    b.ev.clear();
+    b.head = 0;
+    b.sorted = true;
+  }
+  scratch_.insert(scratch_.end(), overflow_.begin() + overflow_head_,
+                  overflow_.end());
+  overflow_.clear();
+  overflow_head_ = 0;
+  overflow_sorted_ = true;
+  cal_size_ = 0;
+  ops_since_rebuild_ = 0;
+
+  size_t target =
+      NextPow2(std::min(std::max(scratch_.size(), kMinBuckets), kMaxBuckets));
+  if (target != buckets_.size()) {
+    buckets_.resize(target);
+    bucket_mask_ = target - 1;
+  }
+  bucket_shift_ = SampleBucketShift();
+  for (const Entry& e : scratch_) CalPlace(e);
+}
+
+// --- shared driver -----------------------------------------------------------
+
 void Simulator::Push(SimTime at, bool weak, EventFn fn) {
   if (at < now_) at = now_;
+  Entry e{at, next_seq_++, slots_.Park(std::move(fn)), weak};
   if (!weak) strong_pending_++;
-  queue_.push_back(HeapEntry{at, next_seq_++, slots_.Park(std::move(fn)), weak});
-  SiftUp(queue_.size() - 1);
+  pending_++;
+  assert(slots_.in_use() == pending_);
+  if (config_.scheduler == SchedulerKind::kHeap) {
+    queue_.push_back(e);
+    SiftUp(queue_.size() - 1);
+    return;
+  }
+  CalPlace(e);
+  if (cal_size_ > buckets_.size() * 2 && buckets_.size() < kMaxBuckets) {
+    CalRebuild();
+  }
+}
+
+bool Simulator::PopIfAtMost(SimTime limit, Entry* out) {
+  if (config_.scheduler == SchedulerKind::kHeap) {
+    return HeapPopIfAtMost(limit, out);
+  }
+  return CalPopIfAtMost(limit, out);
+}
+
+void Simulator::RunEntry(const Entry& e) {
+  assert(e.at >= now_);
+  now_ = e.at;
+  processed_++;
+  if (!e.weak) strong_pending_--;
+  // Take (move out + free) before running: the body may schedule new
+  // events, which can recycle this slot.
+  EventFn fn = slots_.Take(e.slot);
+  fn();
 }
 
 void Simulator::Schedule(SimTime delay, EventFn fn) {
@@ -70,31 +373,17 @@ void Simulator::ScheduleWeak(SimTime delay, EventFn fn) {
   Push(now_ + delay, /*weak=*/true, std::move(fn));
 }
 
-void Simulator::PopAndRun() {
-  HeapEntry ev = queue_[0];
-  queue_[0] = queue_.back();
-  queue_.pop_back();
-  if (!queue_.empty()) SiftDown();
-  assert(ev.at >= now_);
-  now_ = ev.at;
-  processed_++;
-  if (!ev.weak) strong_pending_--;
-  // Take (move out + free) before running: the body may schedule new
-  // events, which can recycle this slot.
-  EventFn fn = slots_.Take(ev.slot);
-  fn();
-}
-
 void Simulator::RunUntil(SimTime until) {
-  while (!queue_.empty() && queue_.front().at <= until) {
-    PopAndRun();
-  }
+  Entry e;
+  while (PopIfAtMost(until, &e)) RunEntry(e);
   if (now_ < until) now_ = until;
 }
 
 void Simulator::RunUntilIdle() {
-  while (strong_pending_ > 0 && !queue_.empty()) {
-    PopAndRun();
+  Entry e;
+  while (strong_pending_ > 0 &&
+         PopIfAtMost(std::numeric_limits<SimTime>::max(), &e)) {
+    RunEntry(e);
   }
 }
 

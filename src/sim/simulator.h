@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/slot_pool.h"
 #include "common/types.h"
+#include "sim/sim_config.h"
 
 namespace lion {
 
@@ -21,13 +22,20 @@ namespace lion {
 /// pending work, while *weak* events (periodic tickers: epoch group commit,
 /// planners, sequencers) do not keep the simulation alive — RunUntilIdle
 /// stops once only weak events remain.
+///
+/// Two interchangeable schedulers order the queue (SimConfig::scheduler):
+/// the default calendar queue buckets events by `at >> bucket_shift` into a
+/// power-of-two ring and dispatches in O(1) amortized, while the reference
+/// 4-ary heap pays an O(log n) sift per operation. Both emit the identical
+/// (time, seq) pop sequence, so the choice never changes simulation results
+/// — only how fast they are produced (see tests/scheduler_equivalence_test).
 class Simulator {
  public:
   /// Events are move-only callables, so closures may own their transaction
   /// (or any other unique_ptr state) outright — no copyable-closure shims.
   using EventFn = MoveFn<void()>;
 
-  explicit Simulator(uint64_t seed = 1);
+  explicit Simulator(uint64_t seed = 1, SimConfig config = SimConfig{});
 
   /// Current simulated time (ns since experiment start).
   SimTime Now() const { return now_; }
@@ -54,19 +62,21 @@ class Simulator {
   uint64_t processed_events() const { return processed_; }
 
   /// Number of events currently pending (strong + weak).
-  size_t pending_events() const { return queue_.size(); }
+  size_t pending_events() const { return pending_; }
+
+  /// The scheduler this instance was constructed with.
+  SchedulerKind scheduler() const { return config_.scheduler; }
 
   /// The experiment-wide deterministic RNG.
   Rng& rng() { return rng_; }
 
  private:
-  // The ordered heap holds only trivially-copyable entries; the closure
-  // itself is parked once in `slots_` and never moved by the heap. Sifting
-  // therefore copies 24-byte PODs instead of relocating type-erased
-  // callables — together with MoveFn's small-buffer storage this makes the
-  // schedule→run cycle allocation-free and keeps per-sift work at a few
-  // trivial copies.
-  struct HeapEntry {
+  // Both schedulers order only trivially-copyable entries; the closure
+  // itself is parked once in `slots_` and never moved by the queue.
+  // Reordering therefore copies 24-byte PODs instead of relocating
+  // type-erased callables — together with MoveFn's small-buffer storage this
+  // makes the schedule→run cycle allocation-free in steady state.
+  struct Entry {
     SimTime at;
     uint64_t seq;
     uint32_t slot;
@@ -74,26 +84,72 @@ class Simulator {
   };
   // (at, seq) is a total order (seq is unique), so the pop sequence — and
   // with it the whole simulation — is deterministic regardless of how the
-  // heap arranges entries internally.
-  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+  // scheduler arranges entries internally.
+  static bool Earlier(const Entry& a, const Entry& b) {
     if (a.at != b.at) return a.at < b.at;
     return a.seq < b.seq;
   }
 
+  /// One calendar bucket: an append-only vector with a consumed prefix
+  /// ([0, head)) and lazy ordering — `sorted` says [head, end) is ascending
+  /// by (at, seq). Timer chains and closed-loop drivers append in nearly
+  /// monotone order, so the common case never sorts at all; out-of-order
+  /// inserts just clear the flag and the next pop from this bucket pays one
+  /// std::sort over its handful of live entries.
+  struct Bucket {
+    std::vector<Entry> ev;
+    uint32_t head = 0;
+    bool sorted = true;
+  };
+
   void Push(SimTime at, bool weak, EventFn fn);
-  void PopAndRun();
-  // Hand-rolled 4-ary implicit heap: half the levels of a binary heap and
-  // the four children of a node sit in adjacent memory, so a sift touches
-  // fewer cache lines than std::push_heap/pop_heap on the same vector.
+  /// Removes the earliest pending entry if its time is <= `limit`.
+  bool PopIfAtMost(SimTime limit, Entry* out);
+  /// Advances the clock to `e.at` and runs the parked closure.
+  void RunEntry(const Entry& e);
+
+  // --- reference scheduler: hand-rolled 4-ary implicit heap --------------
+  // Half the levels of a binary heap, and the four children of a node sit
+  // in adjacent memory, so a sift touches few cache lines.
+  bool HeapPopIfAtMost(SimTime limit, Entry* out);
   void SiftUp(size_t i);
   void SiftDown();
 
+  // --- calendar queue ----------------------------------------------------
+  // Buckets index by absolute bucket number `at >> bucket_shift_` into a
+  // power-of-two ring; events beyond one full rotation of the ring park in
+  // `overflow_` (itself a lazily sorted vector). Geometry (bucket count and
+  // width) re-adapts on occupancy-triggered rebuilds.
+  void CalPlace(const Entry& e);
+  bool CalPopIfAtMost(SimTime limit, Entry* out);
+  void CalRebuild();
+  uint32_t SampleBucketShift();
+
+  SimConfig config_;
   SimTime now_;
   uint64_t next_seq_;
   uint64_t processed_;
   uint64_t strong_pending_;
-  std::vector<HeapEntry> queue_;
-  // Pending closures, parked by index so the heap never moves them.
+  size_t pending_;
+
+  // Heap storage (kHeap only).
+  std::vector<Entry> queue_;
+
+  // Calendar storage (kCalendar only).
+  std::vector<Bucket> buckets_;
+  uint64_t bucket_mask_ = 0;
+  uint32_t bucket_shift_ = 0;
+  size_t cal_size_ = 0;  // live entries in buckets_ (overflow_ excluded)
+  size_t ops_since_rebuild_ = 0;  // pop cadence for geometry resampling
+  std::vector<Entry> overflow_;
+  uint32_t overflow_head_ = 0;
+  bool overflow_sorted_ = true;
+  // Rebuild staging, kept as members so geometry changes recycle capacity.
+  std::vector<Entry> scratch_;
+  std::vector<SimTime> scratch_times_;
+  std::vector<SimTime> scratch_gaps_;
+
+  // Pending closures, parked by index so the schedulers never move them.
   SlotPool<EventFn> slots_;
   Rng rng_;
 };

@@ -198,7 +198,73 @@ TEST(ConfigSchemaTest, ListPathsCoversNestedLeaves) {
   EXPECT_TRUE(has("cluster.net.stats_window_ms"));
   EXPECT_TRUE(has("lion.planner.clump.alpha"));
   EXPECT_TRUE(has("predictor.lstm.learning_rate"));
+  EXPECT_TRUE(has("sim.scheduler"));
   EXPECT_FALSE(has("lion"));  // nested structs are not leaves
+}
+
+TEST(ConfigSchemaTest, SimSchedulerParsesAndRoundTrips) {
+  ExperimentConfig cfg;
+  EXPECT_EQ(cfg.sim.scheduler, SchedulerKind::kCalendar);  // the default
+  ASSERT_TRUE(SetExperimentFlag(&cfg, "sim.scheduler", "heap").ok());
+  EXPECT_EQ(cfg.sim.scheduler, SchedulerKind::kHeap);
+  Json emitted = EmitExperimentConfig(cfg);
+  ExperimentConfig parsed;
+  ASSERT_TRUE(ParseExperimentConfig(emitted, &parsed).ok());
+  EXPECT_EQ(parsed.sim.scheduler, SchedulerKind::kHeap);
+  Status bad = SetExperimentFlag(&cfg, "sim.scheduler", "fibheap");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.message().find("sim.scheduler"), std::string::npos);
+}
+
+TEST(ConfigFlagGroupsTest, GroupsFollowDeclarationStructure) {
+  std::vector<ConfigFlagGroup> groups =
+      ListFlagGroups(ExperimentConfigSchema());
+  ASSERT_GE(groups.size(), 7u);
+  // Root scalars come first, then one group per nested field in order.
+  EXPECT_EQ(groups[0].name, "");
+  bool root_has_protocol = false;
+  for (const auto& f : groups[0].flags) {
+    root_has_protocol |= f.first == "protocol";
+  }
+  EXPECT_TRUE(root_has_protocol);
+  const ConfigFlagGroup* cluster = nullptr;
+  const ConfigFlagGroup* sim = nullptr;
+  for (const ConfigFlagGroup& g : groups) {
+    if (g.name == "cluster") cluster = &g;
+    if (g.name == "sim") sim = &g;
+  }
+  ASSERT_NE(cluster, nullptr);
+  ASSERT_NE(sim, nullptr);
+  EXPECT_FALSE(cluster->help.empty());
+  // Group flags are fully qualified and recurse into nested structs.
+  bool has_net_leaf = false;
+  for (const auto& f : cluster->flags) {
+    has_net_leaf |= f.first == "cluster.net.one_way_latency_us";
+  }
+  EXPECT_TRUE(has_net_leaf);
+  ASSERT_EQ(sim->flags.size(), 1u);
+  EXPECT_EQ(sim->flags[0].first, "sim.scheduler");
+
+  // The groups flatten back to exactly ListPaths (same leaves, same order
+  // within groups).
+  std::vector<std::pair<std::string, std::string>> paths;
+  ExperimentConfigSchema().ListPaths("", &paths);
+  size_t total = 0;
+  for (const ConfigFlagGroup& g : groups) total += g.flags.size();
+  EXPECT_EQ(total, paths.size());
+}
+
+TEST(ConfigFlagGroupsTest, MarkdownDumpContainsEveryFlag) {
+  std::string md = FlagsMarkdown(ExperimentConfigSchema(), "flag reference");
+  EXPECT_NE(md.find("# flag reference"), std::string::npos);
+  EXPECT_NE(md.find("## cluster"), std::string::npos);
+  EXPECT_NE(md.find("| flag | description |"), std::string::npos);
+  std::vector<std::pair<std::string, std::string>> paths;
+  ExperimentConfigSchema().ListPaths("", &paths);
+  for (const auto& p : paths) {
+    EXPECT_NE(md.find("`--" + p.first + "`"), std::string::npos)
+        << "missing flag " << p.first;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,213 @@
+// Heap-vs-calendar scheduler equivalence: the two implementations must
+// produce the exact same (time, seq) pop sequence — and therefore
+// bit-identical simulations — on randomized Schedule/ScheduleAt/ScheduleWeak
+// interleavings, across RunUntil boundaries, and on full protocol-level
+// experiments. The calendar queue is an optimization only; any divergence
+// caught here is a correctness bug, not a tuning matter.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "sim/simulator.h"
+
+namespace lion {
+namespace {
+
+// --- randomized interleavings ------------------------------------------------
+
+/// Everything observable about one run: the pop sequence (event id + the
+/// clock when it ran), the clock after every phase, and the final counters.
+struct Trace {
+  std::vector<std::pair<int, SimTime>> pops;
+  std::vector<SimTime> phase_clock;
+  uint64_t processed = 0;
+  size_t pending = 0;
+
+  bool operator==(const Trace& o) const {
+    return pops == o.pops && phase_clock == o.phase_clock &&
+           processed == o.processed && pending == o.pending;
+  }
+};
+
+/// Delay profiles stress different queue shapes: dense near-horizon
+/// ties, mixed horizons spanning the calendar's bucket rotation, and
+/// timer-like far-future deadlines that live in the overflow list.
+enum class Profile { kDense, kMixed, kFarHeavy };
+
+SimTime DrawDelay(Profile profile, std::mt19937_64& rng) {
+  switch (rng() % 6) {
+    case 0: return 0;  // tie with the running event
+    case 1: return static_cast<SimTime>(rng() % 16);
+    case 2: return static_cast<SimTime>(rng() % 1000);
+    case 3:
+      return profile == Profile::kDense ? static_cast<SimTime>(rng() % 64)
+                                        : static_cast<SimTime>(rng() % 100000);
+    case 4:
+      return profile == Profile::kFarHeavy
+                 ? static_cast<SimTime>(rng() % (50 * kMillisecond))
+                 : static_cast<SimTime>(rng() % 5000);
+    default:
+      return profile == Profile::kDense
+                 ? static_cast<SimTime>(rng() % 256)
+                 : static_cast<SimTime>(rng() % (2 * kMillisecond));
+  }
+}
+
+/// Runs one deterministic pseudo-random schedule program. The program's
+/// choices are driven by a private mt19937 whose draws happen in pop order,
+/// so identical pop sequences consume identical randomness — and any order
+/// divergence between schedulers snowballs into an unmistakable trace diff.
+Trace RunProgram(SchedulerKind kind, uint64_t seed, Profile profile) {
+  Simulator sim(seed, SimConfig{kind});
+  Trace trace;
+  std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ull + 1);
+  int next_id = 0;
+  int budget = 8000;  // total events the program may still create
+
+  // Self-propagating event body: record the pop, then maybe schedule
+  // children through every entry point the simulator offers.
+  struct Spawner {
+    Simulator* sim;
+    Trace* trace;
+    std::mt19937_64* rng;
+    int* next_id;
+    int* budget;
+    Profile profile;
+
+    void SpawnOne() {
+      int id = (*next_id)++;
+      SimTime delay = DrawDelay(profile, *rng);
+      auto body = [this, id]() {
+        trace->pops.emplace_back(id, sim->Now());
+        int children = static_cast<int>((*rng)() % 3);
+        for (int c = 0; c < children && *budget > 0; ++c) {
+          --*budget;
+          SpawnOne();
+        }
+      };
+      switch ((*rng)() % 4) {
+        case 0: sim->ScheduleAt(sim->Now() + delay, body); break;
+        case 1: sim->ScheduleWeak(delay, body); break;
+        default: sim->Schedule(delay, body); break;
+      }
+    }
+  };
+  Spawner spawner{&sim, &trace, &rng, &next_id, &budget, profile};
+
+  for (int i = 0; i < 32 && budget > 0; ++i) {
+    --budget;
+    spawner.SpawnOne();
+  }
+  // Events landing exactly on a RunUntil boundary must run in that phase.
+  sim.ScheduleAt(5000, [&]() { trace.pops.emplace_back(--next_id, sim.Now()); });
+
+  sim.RunUntil(5000);
+  trace.phase_clock.push_back(sim.Now());
+  for (int i = 0; i < 16 && budget > 0; ++i) {
+    --budget;
+    spawner.SpawnOne();
+  }
+  sim.RunUntil(2 * kMillisecond);
+  trace.phase_clock.push_back(sim.Now());
+  for (int i = 0; i < 8 && budget > 0; ++i) {
+    --budget;
+    spawner.SpawnOne();
+  }
+  sim.RunUntilIdle();
+  trace.phase_clock.push_back(sim.Now());
+
+  trace.processed = sim.processed_events();
+  trace.pending = sim.pending_events();
+  return trace;
+}
+
+TEST(SchedulerEquivalenceTest, RandomizedInterleavings) {
+  for (Profile profile :
+       {Profile::kDense, Profile::kMixed, Profile::kFarHeavy}) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      Trace heap = RunProgram(SchedulerKind::kHeap, seed, profile);
+      Trace calendar = RunProgram(SchedulerKind::kCalendar, seed, profile);
+      ASSERT_TRUE(heap == calendar)
+          << "pop sequences diverged at profile=" << static_cast<int>(profile)
+          << " seed=" << seed << " (heap popped " << heap.pops.size()
+          << " events, calendar " << calendar.pops.size() << ")";
+      ASSERT_GT(heap.pops.size(), 100u) << "degenerate program, seed=" << seed;
+    }
+  }
+}
+
+TEST(SchedulerEquivalenceTest, WeakOnlyQueueTerminatesIdentically) {
+  for (SchedulerKind kind :
+       {SchedulerKind::kHeap, SchedulerKind::kCalendar}) {
+    Simulator sim(3, SimConfig{kind});
+    int ticks = 0;
+    // Weak-only queues must not keep RunUntilIdle alive at all.
+    sim.ScheduleWeak(10, [&]() { ticks++; });
+    sim.ScheduleWeak(10 * kSecond, [&]() { ticks++; });  // overflow-far
+    sim.RunUntilIdle();
+    EXPECT_EQ(ticks, 0) << "scheduler " << static_cast<int>(kind);
+    EXPECT_EQ(sim.Now(), 0);
+    EXPECT_EQ(sim.pending_events(), 2u);
+    // A strong event wakes the run back up and drags earlier weak ones in.
+    sim.Schedule(50, [&]() {});
+    sim.RunUntilIdle();
+    EXPECT_EQ(ticks, 1);
+    EXPECT_EQ(sim.Now(), 50);
+  }
+}
+
+// --- protocol-level equivalence ----------------------------------------------
+
+ExperimentConfig BaselineConfig(const std::string& protocol,
+                                const std::string& workload) {
+  ExperimentConfig cfg;
+  cfg.protocol = protocol;
+  cfg.workload = workload;
+  cfg.cluster.num_nodes = 4;
+  cfg.cluster.workers_per_node = 4;
+  cfg.cluster.partitions_per_node = 4;
+  cfg.cluster.records_per_partition = 2000;
+  cfg.ycsb.cross_ratio = 0.5;
+  cfg.ycsb.skew_factor = 0.8;
+  cfg.tpcc.remote_ratio = 0.5;
+  cfg.warmup = 100 * kMillisecond;
+  cfg.duration = 300 * kMillisecond;
+  return cfg;
+}
+
+std::string RunWith(ExperimentConfig cfg, SchedulerKind kind,
+                    uint64_t* committed) {
+  cfg.sim.scheduler = kind;
+  ExperimentResult res;
+  Status s = ExperimentBuilder(cfg).Run(&res);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  *committed = res.committed;
+  return res.ToJson();
+}
+
+TEST(SchedulerEquivalenceTest, YcsbLionResultsAreByteIdentical) {
+  ExperimentConfig cfg = BaselineConfig("Lion", "ycsb");
+  uint64_t committed_heap = 0, committed_cal = 0;
+  std::string heap = RunWith(cfg, SchedulerKind::kHeap, &committed_heap);
+  std::string cal = RunWith(cfg, SchedulerKind::kCalendar, &committed_cal);
+  EXPECT_EQ(committed_heap, committed_cal);
+  EXPECT_GT(committed_heap, 0u);
+  EXPECT_EQ(heap, cal);  // the full result document, series included
+}
+
+TEST(SchedulerEquivalenceTest, Tpcc2PcResultsAreByteIdentical) {
+  ExperimentConfig cfg = BaselineConfig("2PC", "tpcc");
+  uint64_t committed_heap = 0, committed_cal = 0;
+  std::string heap = RunWith(cfg, SchedulerKind::kHeap, &committed_heap);
+  std::string cal = RunWith(cfg, SchedulerKind::kCalendar, &committed_cal);
+  EXPECT_EQ(committed_heap, committed_cal);
+  EXPECT_GT(committed_heap, 0u);
+  EXPECT_EQ(heap, cal);
+}
+
+}  // namespace
+}  // namespace lion

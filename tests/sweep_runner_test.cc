@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
+#include "harness/sweep_cli.h"
 #include "harness/sweep_runner.h"
 
 namespace lion {
@@ -104,6 +106,100 @@ TEST(SweepRunnerTest, EmptySweep) {
   std::vector<SweepOutcome> outcomes = runner.Run();
   EXPECT_TRUE(outcomes.empty());
   EXPECT_EQ(SweepRunner::MergeJson(outcomes), "{\"sweep_size\":0,\"runs\":[]}");
+}
+
+TEST(MergeRepeatJsonTest, RepeatOneIsPlainMergeJson) {
+  std::vector<SweepOutcome> outcomes(1);
+  outcomes[0].name = "p";
+  outcomes[0].status = Status::OK();
+  outcomes[0].result.protocol = "2PC";
+  EXPECT_EQ(MergeRepeatJson(outcomes, 1), SweepRunner::MergeJson(outcomes));
+}
+
+TEST(MergeRepeatJsonTest, AggregatesMedianMinMaxPerPoint) {
+  // Two points x three repeats, synthetic results with known order.
+  std::vector<SweepOutcome> outcomes(6);
+  const double tputs[] = {100, 300, 200, 50, 70, 60};
+  for (size_t i = 0; i < 6; ++i) {
+    SweepOutcome& o = outcomes[i];
+    std::string base = i < 3 ? "a" : "b";
+    o.name = base + "/rep=" + std::to_string(i % 3);
+    o.status = Status::OK();
+    o.result.protocol = "2PC";
+    o.result.workload = "ycsb";
+    o.result.seed = 1 + (i % 3);
+    o.result.throughput = tputs[i];
+    o.result.committed = static_cast<uint64_t>(tputs[i]) * 10;
+  }
+  std::string json = MergeRepeatJson(outcomes, 3);
+  Json doc;
+  ASSERT_TRUE(Json::Parse(json, &doc).ok()) << json;
+  auto AsInt = [](const Json* j) {
+    int64_t v = 0;
+    EXPECT_TRUE(j != nullptr && j->GetInt64(&v).ok());
+    return v;
+  };
+  auto AsDouble = [](const Json* j) {
+    double v = 0;
+    EXPECT_TRUE(j != nullptr && j->GetDouble(&v).ok());
+    return v;
+  };
+  EXPECT_EQ(AsInt(doc.Find("sweep_size")), 2);
+  EXPECT_EQ(AsInt(doc.Find("repeat")), 3);
+  const Json& runs = *doc.Find("runs");
+  ASSERT_EQ(runs.items().size(), 2u);
+  const Json& a = runs.items()[0];
+  EXPECT_EQ(a.Find("name")->str(), "a");
+  EXPECT_EQ(AsInt(a.Find("runs_ok")), 3);
+  EXPECT_EQ(AsInt(a.Find("seed_base")), 1);
+  EXPECT_DOUBLE_EQ(AsDouble(a.Find("median")->Find("throughput_txn_s")), 200);
+  EXPECT_DOUBLE_EQ(AsDouble(a.Find("min")->Find("throughput_txn_s")), 100);
+  EXPECT_DOUBLE_EQ(AsDouble(a.Find("max")->Find("throughput_txn_s")), 300);
+  EXPECT_EQ(AsInt(a.Find("median")->Find("committed")), 2000);
+  const Json& b = runs.items()[1];
+  EXPECT_EQ(b.Find("name")->str(), "b");
+  EXPECT_DOUBLE_EQ(AsDouble(b.Find("median")->Find("throughput_txn_s")), 60);
+}
+
+TEST(MergeRepeatJsonTest, AggregatedKeysStayInSyncWithResultToJson) {
+  // kAggregatedMetrics re-declares ExperimentResult's scalar fields; if a
+  // field is renamed (or an aggregated key drifts), this catches it. The
+  // reverse direction (a *new* ToJson scalar missing from aggregation) is
+  // a judgment call — new fields aren't always aggregation-worthy.
+  std::vector<SweepOutcome> outcomes(2);
+  for (size_t i = 0; i < 2; ++i) {
+    outcomes[i].name = "p/rep=" + std::to_string(i);
+    outcomes[i].status = Status::OK();
+  }
+  std::string json = MergeRepeatJson(outcomes, 2);
+  Json doc;
+  ASSERT_TRUE(Json::Parse(json, &doc).ok()) << json;
+  const Json* median = doc.Find("runs")->items()[0].Find("median");
+  ASSERT_NE(median, nullptr);
+  std::string result_json = ExperimentResult().ToJson();
+  for (const auto& m : median->members()) {
+    EXPECT_NE(result_json.find("\"" + m.first + "\":"), std::string::npos)
+        << "aggregated metric \"" << m.first
+        << "\" is not a field of ExperimentResult::ToJson";
+  }
+}
+
+TEST(MergeRepeatJsonTest, AllFailedGroupReportsFirstError) {
+  std::vector<SweepOutcome> outcomes(2);
+  outcomes[0].name = "p/rep=0";
+  outcomes[0].status = Status::NotFound("no such protocol");
+  outcomes[1].name = "p/rep=1";
+  outcomes[1].status = Status::NotFound("no such protocol");
+  std::string json = MergeRepeatJson(outcomes, 2);
+  Json doc;
+  ASSERT_TRUE(Json::Parse(json, &doc).ok()) << json;
+  const Json& run = doc.Find("runs")->items()[0];
+  EXPECT_EQ(run.Find("name")->str(), "p");
+  EXPECT_EQ(run.Find("status")->str(), "NOT_FOUND");
+  int64_t runs_ok = -1;
+  EXPECT_TRUE(run.Find("runs_ok")->GetInt64(&runs_ok).ok());
+  EXPECT_EQ(runs_ok, 0);
+  EXPECT_EQ(run.Find("error")->str(), "no such protocol");
 }
 
 TEST(SweepRunnerTest, ProgressReachesTotal) {
