@@ -2,24 +2,30 @@
 // harness. Emits BENCH_sim_hotpath.json (repo root by convention) so each
 // PR's numbers land on a trajectory instead of vanishing into a terminal.
 //
-// Four sections:
-//   1. event_churn      — pure Simulator::Schedule/PopAndRun throughput with
-//                         protocol-sized closures (no protocol logic), the
-//                         hot path in isolation (default scheduler);
-//   2. scheduler_churn  — heap vs calendar A/B across queue-depth x
-//                         timer-skew cells, with a pop-clock digest check
-//                         asserting both orders are identical;
-//   3. experiments      — full single-threaded runs (YCSB+Lion, TPCC+2PC),
-//                         simulator events/sec including real event bodies;
-//   4. sweep            — an 8-config grid through SweepRunner at 1..N
-//                         threads, wall-clock scaling plus a determinism
-//                         check (merged JSON at threads=1 must equal
-//                         threads=N).
+// Five sections:
+//   1. event_churn        — pure Simulator::Schedule/PopAndRun throughput
+//                           with protocol-sized closures (no protocol
+//                           logic), the hot path in isolation (default
+//                           scheduler);
+//   2. scheduler_churn    — heap vs calendar A/B across queue-depth x
+//                           timer-skew cells, with a pop-clock digest check
+//                           asserting both orders are identical;
+//   3. experiments        — full single-threaded runs (YCSB+Lion, TPCC+2PC),
+//                           simulator events/sec including real event
+//                           bodies;
+//   4. predictor_ablation — Lion on the dynamic hotspot workload with
+//                           predictor.kind = lstm / ewma / off: what
+//                           forecast quality buys vs. what forecasting
+//                           costs (wall clock);
+//   5. sweep              — an 8-config grid through SweepRunner at 1..N
+//                           threads, wall-clock scaling plus a determinism
+//                           check (merged JSON at threads=1 must equal
+//                           threads=N).
 //
 // Flags: --out=PATH (default BENCH_sim_hotpath.json), --events=N,
 //        --threads=N (max pool for the sweep section), --fast (reduced
-//        matrix for CI smoke), --no-sweep, --no-sched, --label=STR (tag in
-//        the JSON).
+//        matrix for CI smoke), --no-sweep, --no-sched, --no-pred,
+//        --label=STR (tag in the JSON).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -261,7 +267,61 @@ MacroResult RunMacro(const std::string& name, const ExperimentConfig& cfg) {
   return res;
 }
 
-// --- 4. Sweep scaling --------------------------------------------------------
+// --- 4. Predictor ablation: lstm vs ewma vs off on a dynamic workload --------
+
+struct PredAblationResult {
+  std::string kind;
+  uint64_t committed = 0;
+  uint64_t events = 0;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  double throughput = 0.0;
+};
+
+// Lion on the position-cycling hotspot (the Fig. 8b shape): hotspots move
+// every period, which is exactly the regime where pre-replication from a
+// good forecast pays. Same seed and workload across the three kinds, so
+// throughput isolates forecast quality and wall clock isolates model cost.
+ExperimentConfig PredictorAblationConfig(bool fast, const char* kind) {
+  ExperimentConfig cfg = bench::EvalConfig("Lion");
+  cfg.workload = "ycsb-hotspot-position";
+  // The period is the same in both modes so CI's fast runs measure the
+  // same workload shape as the checked-in full baseline; fast mode only
+  // sees fewer cycles of it.
+  cfg.dynamic_period = 1 * kSecond;
+  cfg.cluster.remaster_base_delay = 3000 * kMicrosecond;
+  cfg.predictor.gamma = 0.05;  // eager pre-replication
+  cfg.predictor.kind = kind;
+  cfg.warmup = 0;
+  // Full: two cycles of the 4-phase pattern so the predictor sees it
+  // repeat; fast: one cycle.
+  cfg.duration = (fast ? 4 : 8) * cfg.dynamic_period;
+  return cfg;
+}
+
+std::vector<PredAblationResult> RunPredictorAblation(bool fast) {
+  std::vector<PredAblationResult> results;
+  for (const char* kind : {"lstm", "ewma", "off"}) {
+    MacroResult m = RunMacro(std::string("pred_") + kind,
+                             PredictorAblationConfig(fast, kind));
+    PredAblationResult r;
+    r.kind = kind;
+    r.committed = m.committed;
+    r.events = m.events;
+    r.wall_s = m.wall_s;
+    r.events_per_sec = m.events_per_sec;
+    r.throughput = m.throughput;
+    std::printf(
+        "predictor_ablation: kind=%-4s %llu committed, %.3fs wall -> "
+        "%.1f ktxn/s\n",
+        r.kind.c_str(), static_cast<unsigned long long>(r.committed), r.wall_s,
+        r.throughput / 1000.0);
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+// --- 5. Sweep scaling --------------------------------------------------------
 
 struct SweepScaling {
   size_t configs = 0;
@@ -380,6 +440,7 @@ int main(int argc, char** argv) {
   bool fast = bench::FastMode();
   bool run_sweep = true;
   bool run_sched = true;
+  bool run_pred = true;
   int max_threads = static_cast<int>(std::thread::hardware_concurrency());
   if (max_threads < 1) max_threads = 1;
 
@@ -401,6 +462,8 @@ int main(int argc, char** argv) {
       run_sweep = false;
     } else if (std::strcmp(a, "--no-sched") == 0) {
       run_sched = false;
+    } else if (std::strcmp(a, "--no-pred") == 0) {
+      run_pred = false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       return 1;
@@ -428,6 +491,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(m.committed), m.wall_s,
                 m.events_per_sec / 1e6, m.throughput / 1000.0);
   }
+
+  std::vector<PredAblationResult> pred_ablation;
+  if (run_pred) pred_ablation = RunPredictorAblation(fast);
 
   SweepScaling sweep;
   if (run_sweep) {
@@ -486,6 +552,23 @@ int main(int argc, char** argv) {
     json += "}";
   }
   json += "]";
+  if (!pred_ablation.empty()) {
+    json += ",\"predictor_ablation\":[";
+    for (size_t i = 0; i < pred_ablation.size(); ++i) {
+      const PredAblationResult& r = pred_ablation[i];
+      if (i > 0) json += ",";
+      json += "{";
+      bool fp = true;
+      AppendKv(&json, "kind", r.kind, &fp);
+      AppendKv(&json, "committed", r.committed, &fp);
+      AppendKv(&json, "events", r.events, &fp);
+      AppendKv(&json, "wall_s", r.wall_s, &fp);
+      AppendKv(&json, "events_per_sec", r.events_per_sec, &fp);
+      AppendKv(&json, "throughput_txn_s", r.throughput, &fp);
+      json += "}";
+    }
+    json += "]";
+  }
   if (run_sweep && !sweep.wall_s.empty()) {
     json += ",\"sweep\":{";
     bool f4 = true;

@@ -39,7 +39,11 @@ void PrintRegistries() {
   for (const std::string& w : WorkloadRegistry::Global().Names()) {
     std::printf(" %s", w.c_str());
   }
-  std::printf("\n");
+  std::printf("\npredictors:");
+  for (const std::string& p : PredictorRegistry::Global().Names()) {
+    std::printf(" %s", p.c_str());
+  }
+  std::printf("   (select with --predictor.kind; \"off\" disables)\n");
 }
 
 void PrintUsage() {

@@ -1,0 +1,59 @@
+// Fixed-capacity sliding window over doubles with O(1) append.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lion {
+
+/// A bounded FIFO window: Push appends, and once `capacity` values are held
+/// the oldest is evicted — in O(1), unlike vector::erase(begin()) which
+/// shifts the whole window. Logical index 0 is always the oldest retained
+/// value. Used for the per-template arrival-rate histories, where one closed
+/// sampling interval appends to every tracked template.
+class RingWindow {
+ public:
+  RingWindow() = default;
+  explicit RingWindow(size_t capacity) { Reset(capacity); }
+
+  /// Sets the capacity and clears the contents.
+  void Reset(size_t capacity) {
+    data_.assign(capacity, 0.0);
+    start_ = 0;
+    size_ = 0;
+  }
+
+  size_t capacity() const { return data_.size(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Appends `v`; evicts the oldest value when full. No-op at capacity 0.
+  void Push(double v) {
+    if (data_.empty()) return;
+    if (size_ < data_.size()) {
+      data_[(start_ + size_) % data_.size()] = v;
+      size_++;
+    } else {
+      data_[start_] = v;
+      start_ = (start_ + 1) % data_.size();
+    }
+  }
+
+  /// Value at logical index `i` (0 = oldest retained).
+  double operator[](size_t i) const {
+    return data_[(start_ + i) % data_.size()];
+  }
+
+  /// Materializes the window oldest-first into `out` (resized to size()).
+  void CopyTo(std::vector<double>* out) const {
+    out->resize(size_);
+    for (size_t i = 0; i < size_; ++i) (*out)[i] = (*this)[i];
+  }
+
+ private:
+  std::vector<double> data_;
+  size_t start_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace lion

@@ -1,0 +1,39 @@
+// EWMA/Holt baseline workload predictor.
+//
+// Same three-phase pipeline as the LSTM predictor (template tracking,
+// cosine-β classing, forecast + wv(t, h) trigger — all inherited from
+// TemplateClassPredictor), but the per-class model is Holt's linear
+// exponential smoothing: a smoothed level plus a smoothed trend, refit over
+// the class series each planning round and extrapolated `horizon` intervals
+// ahead. Orders of magnitude cheaper than BPTT training, no RNG, and a
+// one-flag A/B against the LSTM (`predictor.kind=ewma`): any throughput gap
+// between the two isolates what forecast quality — not pipeline mechanics —
+// buys Lion's pre-replication.
+// Registered in PredictorRegistry as "ewma".
+#pragma once
+
+#include <cstdint>
+
+#include "core/predictor_config.h"
+#include "core/template_predictor.h"
+
+namespace lion {
+
+class EwmaPredictor : public TemplateClassPredictor {
+ public:
+  EwmaPredictor(PredictorConfig config, uint64_t seed = 7);
+
+ protected:
+  void FitModels() override;
+  double ForecastClass(const WorkloadClass& cls, int horizon) const override;
+
+ private:
+  struct HoltModel : ClassModel {
+    double level = 0.0;
+    double trend = 0.0;
+    double last_mse = 1e9;  // one-step-ahead MSE over the fitted series
+    bool fitted = false;
+  };
+};
+
+}  // namespace lion

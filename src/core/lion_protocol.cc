@@ -1,8 +1,8 @@
 #include "core/lion_protocol.h"
 
+#include <cstdio>
 #include <memory>
 
-#include "core/predictor.h"
 #include "harness/registry.h"
 
 namespace lion {
@@ -258,8 +258,10 @@ void LionProtocol::ExecuteBatch(const std::shared_ptr<Batch>& batch) {
 
 
 // Self-registration of the Lion family (Table II): each variant toggles the
-// partitioning strategy, batch execution, and the LSTM predictor. The
-// predictor is created here and owned by the protocol instance.
+// partitioning strategy, batch execution, and the workload predictor. The
+// predictor is resolved through PredictorRegistry by `predictor.kind`
+// (default "lstm"; "off" disables it even for predicting variants) and
+// owned by the protocol instance.
 namespace {
 
 std::unique_ptr<Protocol> MakeLionVariant(const ProtocolContext& ctx,
@@ -270,9 +272,19 @@ std::unique_ptr<Protocol> MakeLionVariant(const ProtocolContext& ctx,
   opts.batch_mode = batch;
   opts.group_commit = batch;
   std::unique_ptr<PredictorInterface> predictor;
-  if (predict) {
-    predictor = std::make_unique<LstmPredictor>(ctx.config.predictor,
-                                                ctx.config.seed + 101);
+  if (predict && ctx.config.predictor.kind != kPredictorOff) {
+    // The seed offset keeps the predictor's RNG stream disjoint from the
+    // workload/simulator streams derived from the same experiment seed.
+    PredictorContext pctx{ctx.config.predictor, ctx.config.seed + 101};
+    Status s = PredictorRegistry::Global().Create(ctx.config.predictor.kind,
+                                                  pctx, &predictor);
+    if (!s.ok()) {
+      // ExperimentBuilder::Validate rejects unknown kinds before any factory
+      // runs; reaching this means the protocol was constructed directly with
+      // an unvalidated config. Surface the cause and fail construction.
+      std::fprintf(stderr, "lion: %s\n", s.ToString().c_str());
+      return nullptr;
+    }
   }
   return std::make_unique<LionProtocol>(ctx.cluster, ctx.metrics, opts,
                                         std::move(predictor));

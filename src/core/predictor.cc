@@ -1,186 +1,59 @@
 #include "core/predictor.h"
 
 #include <algorithm>
-#include <cmath>
 
-#include "ml/matrix.h"
+#include "harness/registry.h"
 
 namespace lion {
 
 LstmPredictor::LstmPredictor(PredictorConfig config, uint64_t seed)
-    : config_(config), rng_(seed), lstm_seed_(seed) {}
+    : TemplateClassPredictor(std::move(config), seed), lstm_seed_(seed) {}
 
-void LstmPredictor::MaybeCloseIntervals(SimTime now) {
-  while (now - interval_start_ >= config_.sample_interval) {
-    for (Template& t : templates_) {
-      t.ar.push_back(t.current);
-      if (t.ar.size() > config_.class_window) t.ar.erase(t.ar.begin());
-      t.current = 0.0;
-    }
-    interval_start_ += config_.sample_interval;
-    intervals_closed_++;
-  }
-}
-
-void LstmPredictor::ForceCloseInterval(SimTime now) {
-  for (Template& t : templates_) {
-    t.ar.push_back(t.current);
-    if (t.ar.size() > config_.class_window) t.ar.erase(t.ar.begin());
-    t.current = 0.0;
-  }
-  interval_start_ = now;
-  intervals_closed_++;
-}
-
-void LstmPredictor::OnTxn(const std::vector<PartitionId>& parts, SimTime now) {
-  MaybeCloseIntervals(now);
-  auto it = template_index_.find(parts);
-  size_t idx;
-  if (it == template_index_.end()) {
-    if (templates_.size() >= config_.max_templates) return;  // capped
-    idx = templates_.size();
-    Template t;
-    t.parts = parts;
-    // Align the new template's history with everyone else's.
-    if (!templates_.empty()) t.ar.assign(templates_[0].ar.size(), 0.0);
-    templates_.push_back(std::move(t));
-    template_index_.emplace(parts, idx);
-  } else {
-    idx = it->second;
-  }
-  templates_[idx].current += 1.0;
-  templates_[idx].total += 1.0;
-}
-
-void LstmPredictor::Reclassify() {
-  // Greedy cosine clustering of template arrival-rate vectors: a template
-  // joins the first class whose mean series is within distance β.
-  std::vector<WorkloadClass> old = std::move(classes_);
-  classes_.clear();
-  for (size_t i = 0; i < templates_.size(); ++i) {
-    const Vec& series = templates_[i].ar;
-    if (series.empty()) continue;
-    bool placed = false;
-    for (WorkloadClass& cls : classes_) {
-      double sim = vecops::CosineSimilarity(series, cls.series);
-      if (sim >= 1.0 - config_.beta) {
-        // Merge: running mean of member series.
-        double n = static_cast<double>(cls.members.size());
-        for (size_t k = 0; k < cls.series.size() && k < series.size(); ++k) {
-          cls.series[k] = (cls.series[k] * n + series[k]) / (n + 1.0);
-        }
-        cls.members.push_back(i);
-        placed = true;
-        break;
-      }
-    }
-    if (!placed) {
-      WorkloadClass cls;
-      cls.members.push_back(i);
-      cls.series = series;
-      classes_.push_back(std::move(cls));
-    }
-  }
-  // Reuse trained models where the membership signature survived; otherwise
-  // a fresh model trains below. (Cheap heuristic: match by first member.)
-  for (WorkloadClass& cls : classes_) {
-    for (WorkloadClass& prev : old) {
-      if (prev.lstm != nullptr && !prev.members.empty() &&
-          prev.members[0] == cls.members[0]) {
-        cls.lstm = std::move(prev.lstm);
-        cls.norm = prev.norm;
-        cls.last_mse = prev.last_mse;
-        break;
-      }
-    }
-  }
-}
-
-void LstmPredictor::TrainModels() {
-  for (WorkloadClass& cls : classes_) {
+void LstmPredictor::FitModels() {
+  for (WorkloadClass& cls : classes()) {
     if (cls.series.size() < 4) continue;
+    if (cls.model == nullptr) cls.model = std::make_unique<LstmModel>();
+    auto* model = static_cast<LstmModel*>(cls.model.get());
     double mx = *std::max_element(cls.series.begin(), cls.series.end());
-    cls.norm = mx > 0.0 ? mx : 1.0;
+    model->norm = mx > 0.0 ? mx : 1.0;
     std::vector<double> normalized(cls.series.size());
     for (size_t i = 0; i < cls.series.size(); ++i)
-      normalized[i] = cls.series[i] / cls.norm;
-    if (cls.lstm == nullptr) {
-      cls.lstm = std::make_unique<LstmNetwork>(config_.lstm, ++lstm_seed_);
+      normalized[i] = cls.series[i] / model->norm;
+    if (model->lstm == nullptr) {
+      model->lstm = std::make_unique<LstmNetwork>(config_.lstm, ++lstm_seed_);
     }
     // Retrain when stale (Sec. IV-C: retrain when MSE degrades).
-    double mse = cls.lstm->Evaluate(normalized);
+    double mse = model->lstm->Evaluate(normalized);
     if (mse > config_.retrain_mse) {
-      mse = cls.lstm->Train(normalized, config_.train_epochs);
+      mse = model->lstm->Train(normalized, config_.train_epochs);
     }
-    cls.last_mse = mse;
+    model->last_mse = mse;
   }
 }
 
-double LstmPredictor::ForecastClass(const WorkloadClass& cls, int horizon) const {
-  if (cls.lstm == nullptr || cls.series.empty()) {
+double LstmPredictor::ForecastClass(const WorkloadClass& cls,
+                                    int horizon) const {
+  const auto* model = static_cast<const LstmModel*>(cls.model.get());
+  if (model == nullptr || model->lstm == nullptr || cls.series.empty()) {
     return cls.series.empty() ? 0.0 : cls.series.back();
   }
   size_t window = std::min(cls.series.size(),
                            static_cast<size_t>(config_.history_window));
   std::vector<double> input(cls.series.end() - window, cls.series.end());
-  for (double& v : input) v /= cls.norm;
-  std::vector<double> forecast = cls.lstm->Forecast(input, horizon);
+  for (double& v : input) v /= model->norm;
+  std::vector<double> forecast = model->lstm->Forecast(input, horizon);
   double value = forecast.empty() ? 0.0 : forecast.back();
-  return std::max(0.0, value * cls.norm);
+  return std::max(0.0, value * model->norm);
 }
 
-double LstmPredictor::WorkloadVariation(SimTime now) {
-  MaybeCloseIntervals(now);
-  if (classes_.empty()) return 0.0;
-  // Normalize by the hottest class's current rate so γ is scale-free.
-  double max_rate = 1.0;
-  for (const WorkloadClass& cls : classes_) {
-    if (!cls.series.empty()) max_rate = std::max(max_rate, cls.series.back());
-  }
-  double sum = 0.0;
-  for (const WorkloadClass& cls : classes_) {
-    double current = cls.series.empty() ? 0.0 : cls.series.back();
-    double future = ForecastClass(cls, config_.horizon);
-    double delta = (future - current) / max_rate;
-    sum += delta * delta;
-  }
-  return std::sqrt(sum / static_cast<double>(classes_.size()));
-}
+namespace {
 
-void LstmPredictor::AugmentGraph(HeatGraph* graph, SimTime now) {
-  MaybeCloseIntervals(now);
-  if (templates_.empty() || config_.wp <= 0.0) return;
-  Reclassify();
-  TrainModels();
+const PredictorRegistrar kRegisterLstm(
+    "lstm",
+    [](const PredictorContext& ctx) -> std::unique_ptr<PredictorInterface> {
+      return std::make_unique<LstmPredictor>(ctx.config, ctx.seed);
+    });
 
-  double wv = WorkloadVariation(now);
-  if (wv <= config_.gamma) return;
-  triggers_++;
-
-  for (const WorkloadClass& cls : classes_) {
-    double current = cls.series.empty() ? 0.0 : cls.series.back();
-    double future = ForecastClass(cls, config_.horizon);
-    if (future <= current) continue;  // only rising workloads pre-replicate
-
-    // Reservoir-sample member templates (Vitter's Algorithm R).
-    std::vector<size_t> reservoir;
-    size_t k = config_.sample_size;
-    for (size_t i = 0; i < cls.members.size(); ++i) {
-      if (reservoir.size() < k) {
-        reservoir.push_back(cls.members[i]);
-      } else {
-        size_t j = static_cast<size_t>(rng_.Uniform(i + 1));
-        if (j < k) reservoir[j] = cls.members[i];
-      }
-    }
-    double share = future / std::max(1.0, static_cast<double>(cls.members.size()));
-    for (size_t ti : reservoir) {
-      const Template& t = templates_[ti];
-      if (t.parts.size() < 2) continue;  // no co-access edge to strengthen
-      double weight = config_.wp * config_.prediction_scale * share;
-      if (weight > 0.0) graph->AddAccess(t.parts, weight);
-    }
-  }
-}
+}  // namespace
 
 }  // namespace lion

@@ -1,108 +1,37 @@
 // LSTM-based workload prediction (Sec. IV-C).
+//
+// The three-phase pipeline (template tracking, cosine-β classing, the
+// wv(t, h) trigger) lives in TemplateClassPredictor; this subclass supplies
+// the paper's per-class forecasting model — a lightweight LSTM trained on
+// the normalized arrival-rate series, retrained when its MSE degrades.
+// Registered in PredictorRegistry as "lstm" (the default predictor.kind).
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <memory>
-#include <string>
-#include <vector>
 
-#include "common/rng.h"
-#include "common/types.h"
-#include "core/predictor_interface.h"
+#include "core/predictor_config.h"
+#include "core/template_predictor.h"
 #include "ml/lstm.h"
 
 namespace lion {
 
-struct PredictorConfig {
-  /// Sampling interval i of the arrival-rate history (Eq. 5).
-  SimTime sample_interval = 100 * kMillisecond;
-  /// Cap on tracked templates (hottest retained).
-  size_t max_templates = 512;
-  /// β: cosine-distance threshold below which templates merge into one
-  /// workload class (similarity >= 1 - β).
-  double beta = 0.15;
-  /// Length of the arrival-rate window kept per class.
-  size_t class_window = 64;
-  /// LSTM input length (paper: preceding ten periods).
-  int history_window = 10;
-  /// h of Eq. 6: forecast horizon in sampling intervals.
-  int horizon = 3;
-  /// γ: workload-variation threshold that triggers pre-replication.
-  double gamma = 0.10;
-  /// w_p: weight coefficient of predicted workloads in the heat graph
-  /// (0 disables the prediction mechanism's influence).
-  double wp = 1.0;
-  /// Scale from forecast arrival rate (txns/interval) to graph weight.
-  double prediction_scale = 1.0;
-  /// Reservoir sample size: templates drawn per rising workload class.
-  size_t sample_size = 8;
-  /// Training epochs per planning round, and the MSE above which a class
-  /// model is retrained (Sec. IV-C: retrain to maintain accuracy).
-  int train_epochs = 10;
-  double retrain_mse = 0.01;
-  LstmConfig lstm;  // defaults: 2 layers x 20 hidden, matching the paper
-};
-
-/// Realizes the three-phase prediction pipeline:
-///   1. template identification — transactions accessing the same partition
-///      set share a template whose arrival-rate history is tracked;
-///   2. workload classification — templates whose arrival rates move
-///      together (cosine distance < β) merge into workload classes;
-///   3. time-series prediction — a per-class LSTM forecasts arrival rates;
-///      rising classes contribute reservoir-sampled templates to the heat
-///      graph with weight w_p, and wv(t, h) > γ signals pre-replication.
-class LstmPredictor : public PredictorInterface {
+class LstmPredictor : public TemplateClassPredictor {
  public:
   LstmPredictor(PredictorConfig config, uint64_t seed = 7);
 
-  void OnTxn(const std::vector<PartitionId>& parts, SimTime now) override;
-  void AugmentGraph(HeatGraph* graph, SimTime now) override;
-  double WorkloadVariation(SimTime now) override;
-
-  // --- introspection (tests, examples) --------------------------------------
-  size_t num_templates() const { return templates_.size(); }
-  size_t num_classes() const { return classes_.size(); }
-  uint64_t intervals_closed() const { return intervals_closed_; }
-  uint64_t pre_replications_triggered() const { return triggers_; }
-
-  /// Closes the current sampling interval immediately (test hook).
-  void ForceCloseInterval(SimTime now);
-
-  /// Arrival-rate series of class `k` (normalized counts per interval).
-  const std::vector<double>& ClassSeries(size_t k) const {
-    return classes_[k].series;
-  }
+ protected:
+  void FitModels() override;
+  double ForecastClass(const WorkloadClass& cls, int horizon) const override;
 
  private:
-  struct Template {
-    std::vector<PartitionId> parts;
-    std::vector<double> ar;  // counts per closed interval
-    double current = 0.0;    // counts in the open interval
-    double total = 0.0;
-  };
-  struct WorkloadClass {
-    std::vector<size_t> members;
-    std::vector<double> series;  // mean arrival rate of member templates
+  struct LstmModel : ClassModel {
     std::unique_ptr<LstmNetwork> lstm;
     double norm = 1.0;  // normalization factor for LSTM I/O
     double last_mse = 1e9;
   };
 
-  void MaybeCloseIntervals(SimTime now);
-  void Reclassify();
-  void TrainModels();
-  /// Forecast of class k, `horizon` intervals ahead (denormalized).
-  double ForecastClass(const WorkloadClass& cls, int horizon) const;
-
-  PredictorConfig config_;
-  Rng rng_;
-  SimTime interval_start_ = 0;
-  uint64_t intervals_closed_ = 0;
-  uint64_t triggers_ = 0;
-  uint64_t lstm_seed_ = 0;
-  std::map<std::vector<PartitionId>, size_t> template_index_;
-  std::vector<Template> templates_;
-  std::vector<WorkloadClass> classes_;
+  uint64_t lstm_seed_;
 };
 
 }  // namespace lion

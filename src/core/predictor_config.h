@@ -1,0 +1,51 @@
+// Configuration of the workload prediction pipeline (Sec. IV-C), shared by
+// every predictor implementation. `kind` selects the implementation through
+// PredictorRegistry (harness/registry.h); "off" disables prediction even
+// for protocol variants that would otherwise construct one.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "ml/lstm.h"
+
+namespace lion {
+
+struct PredictorConfig {
+  /// Predictor implementation, resolved through PredictorRegistry
+  /// ("lstm", "ewma", ...); "off" disables the prediction mechanism.
+  std::string kind = "lstm";
+  /// Sampling interval i of the arrival-rate history (Eq. 5).
+  SimTime sample_interval = 100 * kMillisecond;
+  /// Cap on tracked templates (hottest retained).
+  size_t max_templates = 512;
+  /// β: cosine-distance threshold below which templates merge into one
+  /// workload class (similarity >= 1 - β).
+  double beta = 0.15;
+  /// Length of the arrival-rate window kept per class.
+  size_t class_window = 64;
+  /// LSTM input length (paper: preceding ten periods).
+  int history_window = 10;
+  /// h of Eq. 6: forecast horizon in sampling intervals.
+  int horizon = 3;
+  /// γ: workload-variation threshold that triggers pre-replication.
+  double gamma = 0.10;
+  /// w_p: weight coefficient of predicted workloads in the heat graph
+  /// (0 disables the prediction mechanism's influence).
+  double wp = 1.0;
+  /// Scale from forecast arrival rate (txns/interval) to graph weight.
+  double prediction_scale = 1.0;
+  /// Reservoir sample size: templates drawn per rising workload class.
+  size_t sample_size = 8;
+  /// Training epochs per planning round, and the MSE above which a class
+  /// model is retrained (Sec. IV-C: retrain to maintain accuracy).
+  int train_epochs = 10;
+  double retrain_mse = 0.01;
+  /// Level smoothing factor of the EWMA/Holt baseline predictor.
+  double ewma_alpha = 0.5;
+  /// Trend smoothing factor of the EWMA/Holt baseline predictor.
+  double ewma_trend = 0.3;
+  LstmConfig lstm;  // defaults: 2 layers x 20 hidden, matching the paper
+};
+
+}  // namespace lion

@@ -333,6 +333,10 @@ const ConfigSchema& LstmConfigSchema() {
 const ConfigSchema& PredictorConfigSchema() {
   static const ConfigSchema schema = [] {
     ConfigSchemaBuilder<PredictorConfig> b("PredictorConfig");
+    b.Field("kind", &PredictorConfig::kind,
+            "predictor implementation (PredictorRegistry name, e.g. lstm or "
+            "ewma; \"off\" disables prediction)",
+            check::NotEmpty());
     b.Time("sample_interval_ms", &PredictorConfig::sample_interval,
            kMillisecond, "arrival-rate sampling interval (Eq. 5)",
            check::Positive<SimTime>());
@@ -368,6 +372,12 @@ const ConfigSchema& PredictorConfigSchema() {
     b.Field("retrain_mse", &PredictorConfig::retrain_mse,
             "MSE above which a class model retrains",
             check::NonNegative<double>());
+    b.Field("ewma_alpha", &PredictorConfig::ewma_alpha,
+            "level smoothing factor of the ewma (Holt) predictor",
+            check::UnitInterval());
+    b.Field("ewma_trend", &PredictorConfig::ewma_trend,
+            "trend smoothing factor of the ewma (Holt) predictor",
+            check::UnitInterval());
     b.Nested("lstm", &PredictorConfig::lstm, LstmConfigSchema(),
              "per-class LSTM architecture and optimizer");
     return std::move(b).Build();
@@ -535,7 +545,8 @@ const ConfigSchema& ExperimentConfigSchema() {
     b.Nested("lion", &ExperimentConfig::lion, LionOptionsSchema(),
              "Lion protocol options");
     b.Nested("predictor", &ExperimentConfig::predictor,
-             PredictorConfigSchema(), "LSTM workload predictor");
+             PredictorConfigSchema(),
+             "workload predictor (kind selects the implementation)");
     b.Nested("clay", &ExperimentConfig::clay, ClayConfigSchema(),
              "Clay baseline options");
     b.Nested("sim", &ExperimentConfig::sim, SimConfigSchema(),

@@ -111,6 +111,14 @@ Status ExperimentBuilder::Validate() const {
   Status workload_exists =
       WorkloadRegistry::Global().CheckExists(config_.workload);
   if (!workload_exists.ok()) return workload_exists;
+  // The predictor kind resolves through its registry at protocol-factory
+  // time (protocols that never construct one ignore it), so an unknown
+  // kind must be rejected here, before any factory runs.
+  if (config_.predictor.kind != kPredictorOff) {
+    Status predictor_exists =
+        PredictorRegistry::Global().CheckExists(config_.predictor.kind);
+    if (!predictor_exists.ok()) return predictor_exists;
+  }
   return ValidateExperimentConfig(config_);
 }
 

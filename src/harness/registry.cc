@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "core/predictor_interface.h"
 #include "protocols/protocol.h"
 #include "workload/workload.h"
 
@@ -158,6 +159,67 @@ std::string WorkloadRegistry::JoinedNames() const {
   return JoinNames(Names());
 }
 
+PredictorRegistry& PredictorRegistry::Global() {
+  static PredictorRegistry* registry = new PredictorRegistry();
+  return *registry;
+}
+
+Status PredictorRegistry::Register(const std::string& name,
+                                   PredictorFactory factory) {
+  if (name.empty()) return Status::InvalidArgument("empty predictor name");
+  if (name == kPredictorOff)
+    return Status::InvalidArgument(
+        "\"off\" is reserved (disables prediction), not a predictor name");
+  if (factory == nullptr)
+    return Status::InvalidArgument("null factory for predictor " + name);
+  auto [it, inserted] = entries_.emplace(name, std::move(factory));
+  if (!inserted)
+    return Status::AlreadyExists("predictor already registered: " + name);
+  return Status::OK();
+}
+
+Status PredictorRegistry::Unregister(const std::string& name) {
+  if (entries_.erase(name) == 0)
+    return Status::NotFound("predictor not registered: " + name);
+  return Status::OK();
+}
+
+Status PredictorRegistry::CheckExists(const std::string& name) const {
+  if (entries_.count(name) > 0) return Status::OK();
+  return Status::NotFound("unknown predictor \"" + name +
+                          "\" (known: " + JoinedNames() +
+                          "; \"off\" disables prediction)");
+}
+
+Status PredictorRegistry::Create(
+    const std::string& name, const PredictorContext& ctx,
+    std::unique_ptr<PredictorInterface>* out) const {
+  Status exists = CheckExists(name);
+  if (!exists.ok()) return exists;
+  auto it = entries_.find(name);
+  std::unique_ptr<PredictorInterface> predictor = it->second(ctx);
+  if (predictor == nullptr)
+    return Status::Internal("factory for predictor " + name +
+                            " returned null");
+  *out = std::move(predictor);
+  return Status::OK();
+}
+
+bool PredictorRegistry::Contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+std::vector<std::string> PredictorRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, factory] : entries_) names.push_back(name);
+  return names;
+}
+
+std::string PredictorRegistry::JoinedNames() const {
+  return JoinNames(Names());
+}
+
 ProtocolRegistrar::ProtocolRegistrar(const std::string& name,
                                      ExecutionMode mode,
                                      ProtocolFactory factory) {
@@ -171,6 +233,15 @@ ProtocolRegistrar::ProtocolRegistrar(const std::string& name,
 WorkloadRegistrar::WorkloadRegistrar(const std::string& name,
                                      WorkloadFactory factory) {
   Status s = WorkloadRegistry::Global().Register(name, std::move(factory));
+  if (!s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
+PredictorRegistrar::PredictorRegistrar(const std::string& name,
+                                       PredictorFactory factory) {
+  Status s = PredictorRegistry::Global().Register(name, std::move(factory));
   if (!s.ok()) {
     std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
     std::abort();

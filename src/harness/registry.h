@@ -28,6 +28,7 @@ namespace lion {
 
 class Cluster;
 class MetricsCollector;
+class PredictorInterface;
 class Protocol;
 class WorkloadGenerator;
 
@@ -124,6 +125,43 @@ class WorkloadRegistry {
   std::map<std::string, WorkloadFactory> entries_;
 };
 
+/// The `predictor.kind` value that disables workload prediction without
+/// unregistering anything: protocol factories skip predictor construction
+/// entirely. Not a registry name — the registries only hold real
+/// implementations.
+inline constexpr const char* kPredictorOff = "off";
+
+/// Context handed to predictor factories: the predictor's own config slice
+/// plus the already-derived seed (the protocol factory offsets the
+/// experiment seed so predictor RNG streams never alias workload streams).
+struct PredictorContext {
+  const PredictorConfig& config;
+  uint64_t seed = 0;
+};
+
+using PredictorFactory =
+    std::function<std::unique_ptr<PredictorInterface>(const PredictorContext&)>;
+
+class PredictorRegistry {
+ public:
+  static PredictorRegistry& Global();
+
+  Status Register(const std::string& name, PredictorFactory factory);
+  Status Unregister(const std::string& name);
+  Status Create(const std::string& name, const PredictorContext& ctx,
+                std::unique_ptr<PredictorInterface>* out) const;
+  /// OK iff `name` is registered; the kNotFound message lists the known
+  /// names and mentions the "off" sentinel (callers check that separately).
+  Status CheckExists(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> Names() const;
+  std::string JoinedNames() const;
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, PredictorFactory> entries_;
+};
+
 /// File-scope registration helpers. Construction registers into the global
 /// registry; a duplicate name aborts at startup (a duplicate registrar is
 /// a programming error, caught before any experiment runs).
@@ -134,6 +172,10 @@ struct ProtocolRegistrar {
 
 struct WorkloadRegistrar {
   WorkloadRegistrar(const std::string& name, WorkloadFactory factory);
+};
+
+struct PredictorRegistrar {
+  PredictorRegistrar(const std::string& name, PredictorFactory factory);
 };
 
 }  // namespace lion

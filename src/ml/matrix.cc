@@ -67,5 +67,20 @@ double CosineSimilarity(const Vec& a, const Vec& b) {
   return Dot(a, b) / (na * nb);
 }
 
+double SuffixCosineSimilarity(const Vec& a, const Vec& b) {
+  size_t m = a.size() < b.size() ? a.size() : b.size();
+  if (m == 0) return 0.0;
+  const double* pa = a.data() + (a.size() - m);
+  const double* pb = b.data() + (b.size() - m);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    dot += pa[i] * pb[i];
+    na += pa[i] * pa[i];
+    nb += pb[i] * pb[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
 }  // namespace vecops
 }  // namespace lion

@@ -55,7 +55,16 @@ double Dot(const Vec& a, const Vec& b);
 double Norm(const Vec& a);
 
 /// Cosine similarity in [-1, 1]; 0 if either vector is all-zero.
+/// `a` and `b` must have equal length — mismatched lengths would silently
+/// truncate the dot product but not the norms, skewing the result.
 double CosineSimilarity(const Vec& a, const Vec& b);
+
+/// Cosine similarity over the trailing min(|a|, |b|) entries of each
+/// vector. Time series align at their ends (the shared recent history), so
+/// this is the right comparison for series tracked over different spans —
+/// a fresh workload template vs. an established class. 0 if either suffix
+/// is empty or all-zero.
+double SuffixCosineSimilarity(const Vec& a, const Vec& b);
 
 }  // namespace vecops
 }  // namespace lion

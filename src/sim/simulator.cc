@@ -44,6 +44,14 @@ constexpr size_t kCompactMinHead = 64;
 // whole bucket on every few pops.
 constexpr size_t kOrderedInsertMax = 48;
 
+// Rebuild-time geometry sampling cap: above this many pending entries the
+// width statistic is computed over a reservoir sample of deadlines instead
+// of all of them, so a rebuild costs O(n + cap log cap) rather than
+// O(n log n) — for 100k+-event queues that turns the occasional rebuild
+// from a latency spike into noise. 4096 deadlines pin the median gap far
+// more tightly than the 2x width heuristic needs.
+constexpr size_t kGeometrySampleMax = 4096;
+
 // Overflow inserts splice into sorted position when that position is within
 // this many entries of the back (the overwhelmingly common case: far
 // deadlines grow with the clock); a deeper insert falls back to append +
@@ -265,17 +273,33 @@ uint32_t Simulator::SampleBucketShift() {
   // epoch burst contributes one value, not thousands of zero gaps) and a
   // handful of far-future timers (two big gaps cannot move the median).
   // Whatever falls beyond the resulting rotation lands in the sorted
-  // overflow list, which near-back splicing keeps cheap. The O(n log n)
-  // sort amortizes: rebuilds fire on occupancy doubling or every
-  // ~8x-pending pops, so this costs a few comparisons per event.
+  // overflow list, which near-back splicing keeps cheap. The sort is
+  // bounded by kGeometrySampleMax (deeper queues are reservoir-sampled),
+  // and rebuilds fire on occupancy doubling or every ~8x-pending pops, so
+  // this costs a few comparisons per event with no deep-queue spikes.
   const size_t n = scratch_.size();
   if (n < 2) return bucket_shift_;
   scratch_times_.clear();
-  scratch_times_.reserve(n);
-  for (const Entry& e : scratch_) scratch_times_.push_back(e.at);
+  if (n <= kGeometrySampleMax) {
+    scratch_times_.reserve(n);
+    for (const Entry& e : scratch_) scratch_times_.push_back(e.at);
+  } else {
+    // Deep queue: reservoir-sample the deadlines (Vitter's Algorithm R) so
+    // the sort below is bounded. Gaps between consecutive *sampled* order
+    // statistics average n/K true gaps each, so the median gap computed
+    // from the sample is rescaled by K/n below before it sets the width.
+    scratch_times_.reserve(kGeometrySampleMax);
+    for (size_t i = 0; i < kGeometrySampleMax; ++i) {
+      scratch_times_.push_back(scratch_[i].at);
+    }
+    for (size_t i = kGeometrySampleMax; i < n; ++i) {
+      size_t j = static_cast<size_t>(geometry_rng_.Uniform(i + 1));
+      if (j < kGeometrySampleMax) scratch_times_[j] = scratch_[i].at;
+    }
+  }
   std::sort(scratch_times_.begin(), scratch_times_.end());
   scratch_gaps_.clear();
-  for (size_t i = 1; i < n; ++i) {
+  for (size_t i = 1; i < scratch_times_.size(); ++i) {
     SimTime d = scratch_times_[i] - scratch_times_[i - 1];
     if (d > 0) scratch_gaps_.push_back(d);
   }
@@ -283,7 +307,14 @@ uint32_t Simulator::SampleBucketShift() {
   auto mid = scratch_gaps_.begin() +
              static_cast<std::ptrdiff_t>(scratch_gaps_.size() / 2);
   std::nth_element(scratch_gaps_.begin(), mid, scratch_gaps_.end());
-  double width = 2.0 * static_cast<double>(*mid);
+  // When the deadlines were sampled, a sampled gap spans ~n/sample true
+  // gaps; rescale so the width still targets a couple of *distinct
+  // pending instants* per bucket, not a couple of sampled ones (which
+  // would make buckets ~n/sample times too wide in the deep-queue regime
+  // the sampling protects).
+  double scale = static_cast<double>(scratch_times_.size()) /
+                 static_cast<double>(n);
+  double width = 2.0 * static_cast<double>(*mid) * scale;
   uint32_t shift = 0;
   while (shift < kMaxBucketShift &&
          static_cast<double>(uint64_t{1} << (shift + 1)) <= width) {

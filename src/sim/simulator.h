@@ -152,6 +152,12 @@ class Simulator {
   // Pending closures, parked by index so the schedulers never move them.
   SlotPool<EventFn> slots_;
   Rng rng_;
+  // Geometry sampling RNG, separate from rng_: experiments draw from rng_,
+  // so scheduler-internal draws must never perturb that stream (results
+  // must be identical under both schedulers). Geometry only shapes bucket
+  // widths — the pop order is (at, seq) regardless — but the draws are kept
+  // deterministic anyway so rebuild behavior reproduces run to run.
+  Rng geometry_rng_;
 };
 
 }  // namespace lion

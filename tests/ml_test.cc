@@ -66,6 +66,26 @@ TEST(VecOpsTest, CosineSimilarity) {
   EXPECT_NEAR(vecops::CosineSimilarity({1, 2, 3}, {10, 20, 30}), 1.0, 1e-12);
 }
 
+TEST(VecOpsTest, SuffixCosineSimilarityAlignsAtTheEnd) {
+  // Equal lengths: identical to the plain cosine.
+  EXPECT_DOUBLE_EQ(vecops::SuffixCosineSimilarity({1, 0}, {1, 0}), 1.0);
+  EXPECT_NEAR(vecops::SuffixCosineSimilarity({1, 2, 3}, {10, 20, 30}), 1.0,
+              1e-12);
+  // Mismatched lengths compare the trailing min-length windows — the shared
+  // recent history. A fresh series matching the tail of a long one is a
+  // perfect match, where truncating the dot product but not the norms
+  // (what CosineSimilarity's internals would do) reports ~0.46.
+  EXPECT_NEAR(vecops::SuffixCosineSimilarity({9, 9, 9, 1, 2, 3}, {1, 2, 3}),
+              1.0, 1e-12);
+  EXPECT_NEAR(vecops::SuffixCosineSimilarity({1, 2, 3}, {9, 9, 9, 1, 2, 3}),
+              1.0, 1e-12);
+  // Orthogonal tails stay orthogonal no matter the prefix.
+  EXPECT_DOUBLE_EQ(vecops::SuffixCosineSimilarity({5, 1, 0}, {0, 1}), 0.0);
+  // Degenerate inputs: empty or all-zero suffixes report 0, not NaN.
+  EXPECT_DOUBLE_EQ(vecops::SuffixCosineSimilarity({}, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(vecops::SuffixCosineSimilarity({1, 0, 0}, {0, 0}), 0.0);
+}
+
 // --- LSTM gradient check -------------------------------------------------------
 
 TEST(LstmTest, GradientMatchesFiniteDifference) {

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 
+#include "core/predictor_interface.h"
 #include "harness/experiment.h"
 #include "harness/registry.h"
 #include "protocols/protocol.h"
@@ -146,6 +147,77 @@ TEST(WorkloadRegistryTest, UnknownNameReturnsNotFound) {
   Status s = WorkloadRegistry::Global().Create("smallbank", ctx, &workload);
   EXPECT_TRUE(s.IsNotFound()) << s.ToString();
   EXPECT_EQ(workload, nullptr);
+}
+
+// --- Predictor registry ------------------------------------------------------
+
+TEST(PredictorRegistryTest, BuiltinKindsResolve) {
+  PredictorConfig cfg;
+  for (const char* name : {"lstm", "ewma"}) {
+    std::unique_ptr<PredictorInterface> predictor;
+    Status s = PredictorRegistry::Global().Create(
+        name, PredictorContext{cfg, 42}, &predictor);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    ASSERT_NE(predictor, nullptr) << name;
+    // The instance implements the pipeline interface end to end.
+    predictor->OnTxn({1, 2}, 0);
+    EXPECT_GE(predictor->WorkloadVariation(0), 0.0);
+  }
+  std::vector<std::string> names = PredictorRegistry::Global().Names();
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "lstm") != names.end());
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "ewma") != names.end());
+}
+
+TEST(PredictorRegistryTest, UnknownKindReturnsNotFoundWithKnownNames) {
+  PredictorConfig cfg;
+  std::unique_ptr<PredictorInterface> predictor;
+  Status s = PredictorRegistry::Global().Create(
+      "prophet", PredictorContext{cfg, 1}, &predictor);
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+  EXPECT_NE(s.message().find("lstm"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("ewma"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("off"), std::string::npos) << s.ToString();
+}
+
+TEST(PredictorRegistryTest, OffIsReservedNotRegistrable) {
+  Status s = PredictorRegistry::Global().Register(
+      kPredictorOff,
+      [](const PredictorContext&) -> std::unique_ptr<PredictorInterface> {
+        return nullptr;
+      });
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST(PredictorRegistryTest, DuplicateRegistrationRejected) {
+  Status s = PredictorRegistry::Global().Register(
+      "lstm",
+      [](const PredictorContext&) -> std::unique_ptr<PredictorInterface> {
+        return nullptr;
+      });
+  EXPECT_TRUE(s.IsAlreadyExists()) << s.ToString();
+}
+
+TEST(PredictorRegistryTest, BuilderValidatesPredictorKind) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.predictor.kind = "prophet";
+  ExperimentResult res;
+  Status s = ExperimentBuilder(cfg).Run(&res);
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+  EXPECT_NE(s.message().find("prophet"), std::string::npos) << s.ToString();
+}
+
+TEST(PredictorRegistryTest, KindSelectsThePredictorOneFlagAb) {
+  // The prediction-mechanism A/B the registry exists for: the same
+  // experiment under lstm / ewma / off differs in exactly one field.
+  for (const char* kind : {"lstm", "ewma", "off"}) {
+    ExperimentConfig cfg = SmallConfig();
+    cfg.protocol = "Lion";
+    cfg.predictor.kind = kind;
+    ExperimentResult res;
+    Status s = ExperimentBuilder(cfg).Run(&res);
+    ASSERT_TRUE(s.ok()) << kind << ": " << s.ToString();
+    EXPECT_GT(res.committed, 0u) << kind;
+  }
 }
 
 // --- Zero-harness-edit extension -------------------------------------------------

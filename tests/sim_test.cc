@@ -148,6 +148,32 @@ TEST_P(SimulatorTest, GrowShrinkChurnStaysOrdered) {
   EXPECT_EQ(sim.pending_events(), 0u);
 }
 
+TEST_P(SimulatorTest, DeepQueueGeometrySamplingKeepsOrder) {
+  // Grows the pending set past the rebuild-time geometry sample cap (4096),
+  // so calendar rebuilds derive bucket width from a reservoir sample of the
+  // deadlines instead of sorting all of them. Sampling shapes geometry
+  // only — the (time, seq) pop order must stay exact.
+  Simulator sim(11, Cfg());
+  SimTime last = -1;
+  uint64_t ran = 0;
+  auto check = [&]() {
+    EXPECT_GE(sim.Now(), last);
+    last = sim.Now();
+    ran++;
+  };
+  for (int i = 0; i < 20000; ++i) {
+    // Mixed scales: dense ns-range work plus a ms-range band, so resampled
+    // widths actually move between rebuilds.
+    SimTime d = (i % 5 == 0)
+                    ? static_cast<SimTime>(sim.rng().Uniform(50)) * kMillisecond
+                    : static_cast<SimTime>(sim.rng().Uniform(200000));
+    sim.Schedule(d, check);
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(ran, 20000u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 // --- Network ----------------------------------------------------------------
 
 TEST(NetworkTest, RemoteDelayIncludesLatencyAndBandwidth) {
