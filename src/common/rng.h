@@ -37,6 +37,11 @@ class Rng {
   /// Returns 0 if all weights are zero.
   size_t WeightedIndex(const std::vector<double>& weights);
 
+  /// Opaque snapshot of the generator position, equal iff the same number
+  /// of draws happened since seeding. Lets stream-discipline asserts verify
+  /// that a code path did not draw from a stream it must not touch.
+  uint64_t StateFingerprint() const { return state_; }
+
  private:
   uint64_t state_;
   uint64_t inc_;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/geo_placement.h"
+
 namespace lion {
 
 double CostModel::CntRemaster(const RouterTable& table, PartitionId v,
@@ -14,7 +16,11 @@ double CostModel::CntRemaster(const RouterTable& table, PartitionId v,
 
 double CostModel::CntMigrate(const RouterTable& table, PartitionId v,
                              NodeId n) const {
-  return table.HasReplica(n, v) ? 0.0 : 1.0;
+  if (table.HasReplica(n, v)) return 0.0;
+  // The copy flows from v's primary to n; a cross-region copy is priced at
+  // the WAN multiplier.
+  return geo_ == nullptr ? 1.0
+                         : geo_->MigrationMultiplier(table.PrimaryOf(v), n);
 }
 
 double CostModel::PlacementCost(const RouterTable& table, const Clump& clump,

@@ -1,0 +1,107 @@
+#include "core/geo_placement.h"
+
+#include <algorithm>
+
+#include "core/lion_protocol.h"
+
+namespace lion {
+
+GeoPlacement::GeoPlacement(const GeoPlacementConfig& config,
+                           const Topology* topology)
+    : config_(config), topology_(topology) {
+  std::sort(config_.replica_regions.begin(), config_.replica_regions.end());
+  config_.replica_regions.erase(std::unique(config_.replica_regions.begin(),
+                                            config_.replica_regions.end()),
+                                config_.replica_regions.end());
+}
+
+Status GeoPlacement::Validate(const LionOptions& lion,
+                              const ClusterConfig& cluster,
+                              const std::string& path) {
+  const GeoPlacementConfig& geo = lion.geo;
+  int regions = cluster.net.regions;
+  for (size_t i = 0; i < geo.replica_regions.size(); ++i) {
+    int r = geo.replica_regions[i];
+    if (r < 0 || r >= regions) {
+      return Status::InvalidArgument(
+          path + ".replica_regions[" + std::to_string(i) +
+          "]: unknown region " + std::to_string(r) +
+          " (regions = " + std::to_string(regions) + ")");
+    }
+  }
+  if (geo.min_replicas_per_region > cluster.max_replicas) {
+    return Status::InvalidArgument(
+        path + ".min_replicas_per_region: " +
+        std::to_string(geo.min_replicas_per_region) +
+        " exceeds cluster.max_replicas (" +
+        std::to_string(cluster.max_replicas) + ")");
+  }
+  return Status::OK();
+}
+
+bool GeoPlacement::AllowsRegion(int region) const {
+  if (config_.replica_regions.empty()) return true;
+  return std::binary_search(config_.replica_regions.begin(),
+                            config_.replica_regions.end(), region);
+}
+
+bool GeoPlacement::AllowsPrimaryOn(const RouterTable& table, PartitionId pid,
+                                   NodeId n) const {
+  if (!active()) return true;
+  if (!AllowsRegion(topology_->region_of(n))) return false;
+  if (config_.hot_primary_pin_threshold > 0.0 &&
+      table.NormalizedFrequency(pid) >= config_.hot_primary_pin_threshold &&
+      topology_->cross_region(table.PrimaryOf(pid), n)) {
+    return false;
+  }
+  return true;
+}
+
+bool GeoPlacement::AllowsClumpOn(const RouterTable& table, const Clump& clump,
+                                 NodeId n) const {
+  if (!active()) return true;
+  for (PartitionId pid : clump.pids) {
+    if (!AllowsPrimaryOn(table, pid, n)) return false;
+  }
+  return true;
+}
+
+double GeoPlacement::MigrationMultiplier(NodeId from, NodeId to) const {
+  if (!active() || !topology_->cross_region(from, to)) return 1.0;
+  return config_.wan_migration_multiplier;
+}
+
+int GeoPlacement::EnsureRegionalReplicas(RouterTable* table,
+                                         int max_replicas) const {
+  if (!active() || config_.min_replicas_per_region <= 0) return 0;
+
+  // Nodes per region, ascending node id: provisioning is deterministic.
+  std::vector<std::vector<NodeId>> region_nodes(
+      static_cast<size_t>(topology_->regions()));
+  for (NodeId n = 0; n < table->num_nodes(); ++n) {
+    region_nodes[static_cast<size_t>(topology_->region_of(n))].push_back(n);
+  }
+
+  int added = 0;
+  for (PartitionId pid = 0; pid < table->num_partitions(); ++pid) {
+    ReplicaGroup* group = table->mutable_group(pid);
+    for (int r = 0; r < topology_->regions(); ++r) {
+      if (!AllowsRegion(r)) continue;
+      int in_region = 0;
+      for (NodeId n : region_nodes[static_cast<size_t>(r)]) {
+        if (n == group->primary() || group->HasSecondary(n)) in_region++;
+      }
+      for (NodeId n : region_nodes[static_cast<size_t>(r)]) {
+        if (in_region >= config_.min_replicas_per_region) break;
+        if (group->LiveReplicaCount() >= max_replicas) break;
+        if (!table->IsNodeUp(n) || group->HasReplica(n)) continue;
+        group->AddSecondary(n, group->primary_lsn());
+        in_region++;
+        added++;
+      }
+    }
+  }
+  return added;
+}
+
+}  // namespace lion

@@ -1,0 +1,92 @@
+// Region-aware placement constraints for Lion's replica provisioning.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/clump.h"
+#include "replication/cluster_config.h"
+#include "replication/router_table.h"
+#include "sim/topology.h"
+
+namespace lion {
+
+struct LionOptions;
+
+/// Geo constraints on the planner and replication manager (lion.geo.*).
+/// The defaults constrain nothing, so flat single-region experiments are
+/// unaffected.
+struct GeoPlacementConfig {
+  /// Regions allowed to host replicas; empty allows every region.
+  std::vector<int> replica_regions;
+  /// Minimum live replicas of every partition in each allowed region,
+  /// enforced at protocol start (capped by cluster.max_replicas). 0 leaves
+  /// the initial placement alone.
+  int min_replicas_per_region = 0;
+  /// Multiplies the migration term of the placement cost model for
+  /// cross-region copies, so the provisioner prices WAN moves above LAN
+  /// moves. 1 prices them equally.
+  double wan_migration_multiplier = 1.0;
+  /// Partitions whose normalized access frequency reaches this threshold
+  /// are write-hot: their primary may not move across regions (planner and
+  /// remastering both respect the pin). 0 disables the pin.
+  double hot_primary_pin_threshold = 0.0;
+};
+
+/// Applies GeoPlacementConfig against a concrete topology. Plan generation
+/// asks it which nodes may receive a clump, the cost model scales WAN
+/// migrations through it, and LionProtocol::Start uses it to guarantee the
+/// min-replicas-per-region invariant.
+class GeoPlacement {
+ public:
+  /// Unconstrained placement (no topology attached).
+  GeoPlacement() = default;
+
+  /// `topology` must outlive this object (it is owned by the cluster's
+  /// network).
+  GeoPlacement(const GeoPlacementConfig& config, const Topology* topology);
+
+  /// Cross-field validation of lion.geo.* against the cluster topology
+  /// (region indices in range). Called from ExperimentBuilder::Validate.
+  static Status Validate(const LionOptions& lion, const ClusterConfig& cluster,
+                         const std::string& path = "lion.geo");
+
+  bool active() const { return topology_ != nullptr; }
+
+  /// Whether `region` may host replicas under replica_regions.
+  bool AllowsRegion(int region) const;
+
+  bool AllowsNode(NodeId node) const {
+    return !active() || AllowsRegion(topology_->region_of(node));
+  }
+
+  /// Whether `pid`'s primary may land on `n`: the node's region must be
+  /// allowed, and a write-hot partition may not cross regions away from its
+  /// current primary.
+  bool AllowsPrimaryOn(const RouterTable& table, PartitionId pid,
+                       NodeId n) const;
+
+  /// Whether dispatching `clump` to `n` is allowed: AllowsPrimaryOn for
+  /// every partition in the clump.
+  bool AllowsClumpOn(const RouterTable& table, const Clump& clump,
+                     NodeId n) const;
+
+  /// Cost multiplier for migrating a replica from `from` to `to`
+  /// (wan_migration_multiplier across regions, 1 within).
+  double MigrationMultiplier(NodeId from, NodeId to) const;
+
+  /// Adds secondaries (caught up to the primary LSN — a bootstrap-time
+  /// provision, before any traffic) until every partition holds at least
+  /// min_replicas_per_region live replicas in each allowed region, stopping
+  /// at `max_replicas` per partition. Down nodes are skipped. Returns the
+  /// number of replicas added.
+  int EnsureRegionalReplicas(RouterTable* table, int max_replicas) const;
+
+ private:
+  GeoPlacementConfig config_;
+  const Topology* topology_ = nullptr;
+};
+
+}  // namespace lion

@@ -38,9 +38,16 @@ LionProtocol::LionProtocol(Cluster* cluster, MetricsCollector* metrics,
     planner_ = std::make_unique<Planner>(cluster, options_.planner,
                                          predictor_.get());
   }
+  geo_placement_ = GeoPlacement(options_.geo, &cluster->topology());
+  cost_model_.SetGeoPlacement(&geo_placement_);
+  if (planner_ != nullptr) planner_->SetGeoPlacement(&geo_placement_);
 }
 
 void LionProtocol::Start() {
+  // Bootstrap-time provisioning: satisfy the min-replicas-per-region
+  // constraint before any traffic (no-op when unconfigured).
+  geo_placement_.EnsureRegionalReplicas(&cluster_->router(),
+                                        cluster_->config().max_replicas);
   if (planner_ != nullptr) planner_->Start();
   if (options_.batch_mode) StartEpochTimer();
 }
@@ -98,6 +105,7 @@ void LionProtocol::SubmitStandard(TxnPtr txn, TxnDoneFn done) {
   for (PartitionId p : parts) {
     if (cluster_->router().PrimaryOf(p) == dst) continue;
     if (cluster_->router().HasSecondary(dst, p) &&
+        geo_placement_.AllowsPrimaryOn(cluster_->router(), p, dst) &&
         WorthRemastering(p, dst, txn->OpsOn(p).size())) {
       need_remaster.push_back(p);
     } else {
@@ -165,6 +173,7 @@ void LionProtocol::SubmitBatch(TxnPtr txn, TxnDoneFn done) {
     if (cluster_->router().PrimaryOf(p) == dst) continue;
     Transaction* raw_txn = txn.get();
     if (cluster_->router().HasSecondary(dst, p) &&
+        geo_placement_.AllowsPrimaryOn(cluster_->router(), p, dst) &&
         WorthRemastering(p, dst, raw_txn->OpsOn(p).size())) {
       need_remaster.push_back(p);
     } else {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/cost_model.h"
+#include "core/geo_placement.h"
 #include "core/planner.h"
 #include "core/predictor_interface.h"
 #include "core/txn_router.h"
@@ -33,6 +34,8 @@ struct LionOptions {
   size_t max_batch_size = 10000;
   PlannerConfig planner;
   CostModelConfig cost;
+  /// Region-aware placement constraints (no-ops on a flat topology).
+  GeoPlacementConfig geo;
 };
 
 /// Lion executes each transaction on a single node whenever that node holds
@@ -89,6 +92,7 @@ class LionProtocol : public Protocol {
   TwoPhaseEngine engine_;
   TxnRouter router_;
   CostModel cost_model_;
+  GeoPlacement geo_placement_;
   std::unique_ptr<PredictorInterface> predictor_;
   std::unique_ptr<Planner> planner_;
 

@@ -116,14 +116,15 @@ Status ConfigSchema::SetJsonByPath(void* obj, const std::string& dotted,
 
 Status ConfigSchema::SetByPath(void* obj, const std::string& dotted,
                                const std::string& value) const {
-  // A value that parses as a JSON scalar is used as such ("5", "0.25",
-  // "true"); everything else — protocol names, enum values — is a string.
+  // A value that parses as a JSON scalar or array is used as such ("5",
+  // "0.25", "true", "[0,1,1]"); everything else — protocol names, enum
+  // values — is a string.
   Json parsed;
-  bool is_json_scalar =
+  bool is_json_value =
       Json::Parse(value, &parsed).ok() &&
       (parsed.is_number() || parsed.is_bool() || parsed.is_null() ||
-       parsed.is_string());
-  if (!is_json_scalar) parsed = Json::Str(value);
+       parsed.is_string() || parsed.is_array());
+  if (!is_json_value) parsed = Json::Str(value);
   Status s = SetJsonByPath(obj, dotted, parsed);
   if (!s.ok() && parsed.is_number()) {
     // "--workload=2pc"-style values lex as garbage numbers for string
@@ -164,6 +165,30 @@ const ConfigSchema& NetworkConfigSchema() {
     b.Time("stats_window_ms", &NetworkConfig::stats_window, kMillisecond,
            "width of the bytes/messages accounting windows",
            check::Positive<SimTime>());
+    b.Field("regions", &NetworkConfig::regions,
+            "geographic regions (1 = flat single-datacenter model)",
+            check::AtLeast<int>(1));
+    b.Field("node_regions", &NetworkConfig::node_regions,
+            "region of each node; empty assigns contiguous equal blocks",
+            check::NonNegative<int>());
+    b.Field("region_latency_ms", &NetworkConfig::region_latency_ms,
+            "row-major regions^2 one-way latency matrix in ms; empty derives "
+            "from one_way_latency_us and cross_region_latency_ms",
+            check::NonNegative<double>());
+    b.Time("cross_region_latency_ms", &NetworkConfig::cross_region_latency,
+           kMillisecond,
+           "default one-way latency between distinct regions when no matrix "
+           "is declared",
+           check::NonNegative<SimTime>());
+    b.Field("region_bandwidth_bytes_per_sec",
+            &NetworkConfig::region_bandwidth_bytes_per_sec,
+            "row-major regions^2 bandwidth matrix (bytes/sec); empty uses "
+            "bandwidth_bytes_per_sec everywhere",
+            check::Positive<double>());
+    b.Field("jitter_pct", &NetworkConfig::jitter_pct,
+            "symmetric multiplicative delivery jitter drawn from a dedicated "
+            "seeded stream (0 disables)",
+            check::UnitInterval());
     return std::move(b).Build();
   }();
   return schema;
@@ -463,6 +488,31 @@ const ConfigSchema& PlannerConfigSchema() {
   return schema;
 }
 
+const ConfigSchema& GeoPlacementConfigSchema() {
+  static const ConfigSchema schema = [] {
+    ConfigSchemaBuilder<GeoPlacementConfig> b("GeoPlacementConfig");
+    b.Field("replica_regions", &GeoPlacementConfig::replica_regions,
+            "regions allowed to host replicas; empty allows all",
+            check::NonNegative<int>());
+    b.Field("min_replicas_per_region",
+            &GeoPlacementConfig::min_replicas_per_region,
+            "minimum live replicas per partition in each allowed region, "
+            "provisioned at protocol start (0 = off)",
+            check::NonNegative<int>());
+    b.Field("wan_migration_multiplier",
+            &GeoPlacementConfig::wan_migration_multiplier,
+            "placement-cost multiplier for cross-region replica migration",
+            check::Positive<double>());
+    b.Field("hot_primary_pin_threshold",
+            &GeoPlacementConfig::hot_primary_pin_threshold,
+            "normalized access frequency above which a partition's primary "
+            "may not move across regions (0 = off)",
+            check::UnitInterval());
+    return std::move(b).Build();
+  }();
+  return schema;
+}
+
 const ConfigSchema& LionOptionsSchema() {
   static const ConfigSchema schema = [] {
     ConfigSchemaBuilder<LionOptions> b("LionOptions");
@@ -479,6 +529,8 @@ const ConfigSchema& LionOptionsSchema() {
              "planning loop configuration");
     b.Nested("cost", &LionOptions::cost, CostModelConfigSchema(),
              "router/remaster cost model weights");
+    b.Nested("geo", &LionOptions::geo, GeoPlacementConfigSchema(),
+             "region-aware placement constraints");
     return std::move(b).Build();
   }();
   return schema;

@@ -40,6 +40,7 @@ struct NetworkConfig;
 struct YcsbConfig;
 struct TpccConfig;
 struct LionOptions;
+struct GeoPlacementConfig;
 struct PlannerConfig;
 struct ClumpOptions;
 struct PlanGeneratorConfig;
@@ -298,6 +299,75 @@ class ConfigSchemaBuilder {
     return *this;
   }
 
+  /// Numeric array field (JSON array of ints). The whole vector is replaced
+  /// on parse; `element_check` runs per element with an indexed path
+  /// ("network.node_regions[2]: ...").
+  ConfigSchemaBuilder& Field(const char* name, std::vector<int> T::*m,
+                             const char* help,
+                             FieldCheck<int> element_check = nullptr) {
+    ConfigFieldSpec spec = Base(name, help);
+    spec.parse = [m](void* obj, const Json& v, const std::string& path) {
+      if (!v.is_array())
+        return Status::InvalidArgument(path + ": expected array, got " +
+                                       JsonTypeName(v.type()));
+      std::vector<int> vec;
+      vec.reserve(v.items().size());
+      for (size_t i = 0; i < v.items().size(); ++i) {
+        int64_t e;
+        Status s = v.items()[i].GetInt64(&e);
+        std::string at = path + "[" + std::to_string(i) + "]";
+        if (!s.ok()) return Status::InvalidArgument(at + ": " + s.message());
+        if (e < INT32_MIN || e > INT32_MAX)
+          return Status::InvalidArgument(at + ": " + std::to_string(e) +
+                                         " out of int range");
+        vec.push_back(static_cast<int>(e));
+      }
+      static_cast<T*>(obj)->*m = std::move(vec);
+      return Status::OK();
+    };
+    spec.emit = [m](const void* obj) {
+      Json arr = Json::Array();
+      for (int e : static_cast<const T*>(obj)->*m) arr.Add(Json::Int(e));
+      return arr;
+    };
+    AttachElementCheck(&spec, m, std::move(element_check));
+    Push(std::move(spec));
+    return *this;
+  }
+
+  /// Numeric array field (JSON array of doubles); see the int overload.
+  ConfigSchemaBuilder& Field(const char* name, std::vector<double> T::*m,
+                             const char* help,
+                             FieldCheck<double> element_check = nullptr) {
+    ConfigFieldSpec spec = Base(name, help);
+    spec.parse = [m](void* obj, const Json& v, const std::string& path) {
+      if (!v.is_array())
+        return Status::InvalidArgument(path + ": expected array, got " +
+                                       JsonTypeName(v.type()));
+      std::vector<double> vec;
+      vec.reserve(v.items().size());
+      for (size_t i = 0; i < v.items().size(); ++i) {
+        double e;
+        Status s = v.items()[i].GetDouble(&e);
+        if (!s.ok())
+          return Status::InvalidArgument(path + "[" + std::to_string(i) +
+                                         "]: " + s.message());
+        vec.push_back(e);
+      }
+      static_cast<T*>(obj)->*m = std::move(vec);
+      return Status::OK();
+    };
+    spec.emit = [m](const void* obj) {
+      Json arr = Json::Array();
+      for (double e : static_cast<const T*>(obj)->*m)
+        arr.Add(Json::Double(e));
+      return arr;
+    };
+    AttachElementCheck(&spec, m, std::move(element_check));
+    Push(std::move(spec));
+    return *this;
+  }
+
   /// SimTime field: the JSON value is a number in `unit` (kSecond,
   /// kMillisecond, ...; the name should carry the matching _s/_ms/_us/_ns
   /// suffix) converted to nanoseconds at the nearest integer.
@@ -389,6 +459,23 @@ class ConfigSchemaBuilder {
   }
 
   template <typename V>
+  void AttachElementCheck(ConfigFieldSpec* spec, std::vector<V> T::*m,
+                          FieldCheck<V> check) {
+    if (!check) return;
+    spec->check = [m, check](const void* obj, const std::string& path) {
+      const std::vector<V>& vec = static_cast<const T*>(obj)->*m;
+      for (size_t i = 0; i < vec.size(); ++i) {
+        std::string err = check(vec[i]);
+        if (!err.empty()) {
+          return Status::InvalidArgument(path + "[" + std::to_string(i) +
+                                         "]: " + err);
+        }
+      }
+      return Status::OK();
+    };
+  }
+
+  template <typename V>
   void AttachCheck(ConfigFieldSpec* spec, V T::*m, FieldCheck<V> check) {
     if (!check) return;
     spec->check = [m, check](const void* obj, const std::string& path) {
@@ -416,6 +503,7 @@ const ConfigSchema& ClumpOptionsSchema();
 const ConfigSchema& CostModelConfigSchema();
 const ConfigSchema& PlanGeneratorConfigSchema();
 const ConfigSchema& PlannerConfigSchema();
+const ConfigSchema& GeoPlacementConfigSchema();
 const ConfigSchema& LionOptionsSchema();
 const ConfigSchema& ClayConfigSchema();
 const ConfigSchema& SimConfigSchema();

@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <utility>
 
+#include "core/geo_placement.h"
 #include "harness/config_schema.h"
 #include "harness/driver.h"
+#include "sim/topology.h"
 
 namespace lion {
 
@@ -119,7 +121,14 @@ Status ExperimentBuilder::Validate() const {
         PredictorRegistry::Global().CheckExists(config_.predictor.kind);
     if (!predictor_exists.ok()) return predictor_exists;
   }
-  return ValidateExperimentConfig(config_);
+  Status schema_valid = ValidateExperimentConfig(config_);
+  if (!schema_valid.ok()) return schema_valid;
+  // Region geometry is cross-field (matrix sizes depend on regions, node
+  // assignments on num_nodes), beyond per-field schema checks.
+  Status topo_valid = Topology::Validate(config_.cluster.net,
+                                         config_.cluster.num_nodes);
+  if (!topo_valid.ok()) return topo_valid;
+  return GeoPlacement::Validate(config_.lion, config_.cluster);
 }
 
 Status ExperimentBuilder::Build(std::unique_ptr<Experiment>* out) const {

@@ -12,7 +12,18 @@ namespace lion {
 
 namespace {
 
-std::string JoinNames(const std::vector<std::string>& names) {
+// Registrar stanzas run before main(); a failed registration is a
+// programming error (duplicate or malformed name) and aborts immediately.
+void DieOnRegisterError(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
+std::string JoinRegistryNames(const std::vector<std::string>& names) {
   std::string joined;
   for (const std::string& n : names) {
     if (!joined.empty()) joined += ", ";
@@ -21,48 +32,9 @@ std::string JoinNames(const std::vector<std::string>& names) {
   return joined;
 }
 
-}  // namespace
-
 ProtocolRegistry& ProtocolRegistry::Global() {
   static ProtocolRegistry* registry = new ProtocolRegistry();
   return *registry;
-}
-
-Status ProtocolRegistry::Register(const std::string& name, ExecutionMode mode,
-                                  ProtocolFactory factory) {
-  if (name.empty()) return Status::InvalidArgument("empty protocol name");
-  if (factory == nullptr)
-    return Status::InvalidArgument("null factory for protocol " + name);
-  auto [it, inserted] =
-      entries_.emplace(name, Entry{mode, std::move(factory)});
-  if (!inserted)
-    return Status::AlreadyExists("protocol already registered: " + name);
-  return Status::OK();
-}
-
-Status ProtocolRegistry::Unregister(const std::string& name) {
-  if (entries_.erase(name) == 0)
-    return Status::NotFound("protocol not registered: " + name);
-  return Status::OK();
-}
-
-Status ProtocolRegistry::CheckExists(const std::string& name) const {
-  if (entries_.count(name) > 0) return Status::OK();
-  return Status::NotFound("unknown protocol \"" + name +
-                          "\" (known: " + JoinedNames() + ")");
-}
-
-Status ProtocolRegistry::Create(const std::string& name,
-                                const ProtocolContext& ctx,
-                                std::unique_ptr<Protocol>* out) const {
-  Status exists = CheckExists(name);
-  if (!exists.ok()) return exists;
-  auto it = entries_.find(name);
-  std::unique_ptr<Protocol> protocol = it->second.factory(ctx);
-  if (protocol == nullptr)
-    return Status::Internal("factory for protocol " + name + " returned null");
-  *out = std::move(protocol);
-  return Status::OK();
 }
 
 Status ProtocolRegistry::Mode(const std::string& name,
@@ -70,37 +42,22 @@ Status ProtocolRegistry::Mode(const std::string& name,
   auto it = entries_.find(name);
   if (it == entries_.end())
     return Status::NotFound("unknown protocol: " + name);
-  *out = it->second.mode;
+  *out = it->second.payload;
   return Status::OK();
 }
 
 bool ProtocolRegistry::IsBatch(const std::string& name) const {
   auto it = entries_.find(name);
-  return it != entries_.end() && it->second.mode == ExecutionMode::kBatch;
-}
-
-bool ProtocolRegistry::Contains(const std::string& name) const {
-  return entries_.count(name) > 0;
-}
-
-std::vector<std::string> ProtocolRegistry::Names() const {
-  std::vector<std::string> names;
-  names.reserve(entries_.size());
-  for (const auto& [name, entry] : entries_) names.push_back(name);
-  return names;  // std::map iterates sorted
+  return it != entries_.end() && it->second.payload == ExecutionMode::kBatch;
 }
 
 std::vector<std::string> ProtocolRegistry::NamesByMode(
     ExecutionMode mode) const {
   std::vector<std::string> names;
   for (const auto& [name, entry] : entries_) {
-    if (entry.mode == mode) names.push_back(name);
+    if (entry.payload == mode) names.push_back(name);
   }
   return names;  // std::map iterates sorted
-}
-
-std::string ProtocolRegistry::JoinedNames() const {
-  return JoinNames(Names());
 }
 
 WorkloadRegistry& WorkloadRegistry::Global() {
@@ -108,144 +65,28 @@ WorkloadRegistry& WorkloadRegistry::Global() {
   return *registry;
 }
 
-Status WorkloadRegistry::Register(const std::string& name,
-                                  WorkloadFactory factory) {
-  if (name.empty()) return Status::InvalidArgument("empty workload name");
-  if (factory == nullptr)
-    return Status::InvalidArgument("null factory for workload " + name);
-  auto [it, inserted] = entries_.emplace(name, std::move(factory));
-  if (!inserted)
-    return Status::AlreadyExists("workload already registered: " + name);
-  return Status::OK();
-}
-
-Status WorkloadRegistry::Unregister(const std::string& name) {
-  if (entries_.erase(name) == 0)
-    return Status::NotFound("workload not registered: " + name);
-  return Status::OK();
-}
-
-Status WorkloadRegistry::CheckExists(const std::string& name) const {
-  if (entries_.count(name) > 0) return Status::OK();
-  return Status::NotFound("unknown workload \"" + name +
-                          "\" (known: " + JoinedNames() + ")");
-}
-
-Status WorkloadRegistry::Create(const std::string& name,
-                                const WorkloadContext& ctx,
-                                std::unique_ptr<WorkloadGenerator>* out) const {
-  Status exists = CheckExists(name);
-  if (!exists.ok()) return exists;
-  auto it = entries_.find(name);
-  std::unique_ptr<WorkloadGenerator> workload = it->second(ctx);
-  if (workload == nullptr)
-    return Status::Internal("factory for workload " + name + " returned null");
-  *out = std::move(workload);
-  return Status::OK();
-}
-
-bool WorkloadRegistry::Contains(const std::string& name) const {
-  return entries_.count(name) > 0;
-}
-
-std::vector<std::string> WorkloadRegistry::Names() const {
-  std::vector<std::string> names;
-  names.reserve(entries_.size());
-  for (const auto& [name, factory] : entries_) names.push_back(name);
-  return names;
-}
-
-std::string WorkloadRegistry::JoinedNames() const {
-  return JoinNames(Names());
-}
-
 PredictorRegistry& PredictorRegistry::Global() {
   static PredictorRegistry* registry = new PredictorRegistry();
   return *registry;
 }
 
-Status PredictorRegistry::Register(const std::string& name,
-                                   PredictorFactory factory) {
-  if (name.empty()) return Status::InvalidArgument("empty predictor name");
-  if (name == kPredictorOff)
-    return Status::InvalidArgument(
-        "\"off\" is reserved (disables prediction), not a predictor name");
-  if (factory == nullptr)
-    return Status::InvalidArgument("null factory for predictor " + name);
-  auto [it, inserted] = entries_.emplace(name, std::move(factory));
-  if (!inserted)
-    return Status::AlreadyExists("predictor already registered: " + name);
-  return Status::OK();
-}
-
-Status PredictorRegistry::Unregister(const std::string& name) {
-  if (entries_.erase(name) == 0)
-    return Status::NotFound("predictor not registered: " + name);
-  return Status::OK();
-}
-
-Status PredictorRegistry::CheckExists(const std::string& name) const {
-  if (entries_.count(name) > 0) return Status::OK();
-  return Status::NotFound("unknown predictor \"" + name +
-                          "\" (known: " + JoinedNames() +
-                          "; \"off\" disables prediction)");
-}
-
-Status PredictorRegistry::Create(
-    const std::string& name, const PredictorContext& ctx,
-    std::unique_ptr<PredictorInterface>* out) const {
-  Status exists = CheckExists(name);
-  if (!exists.ok()) return exists;
-  auto it = entries_.find(name);
-  std::unique_ptr<PredictorInterface> predictor = it->second(ctx);
-  if (predictor == nullptr)
-    return Status::Internal("factory for predictor " + name +
-                            " returned null");
-  *out = std::move(predictor);
-  return Status::OK();
-}
-
-bool PredictorRegistry::Contains(const std::string& name) const {
-  return entries_.count(name) > 0;
-}
-
-std::vector<std::string> PredictorRegistry::Names() const {
-  std::vector<std::string> names;
-  names.reserve(entries_.size());
-  for (const auto& [name, factory] : entries_) names.push_back(name);
-  return names;
-}
-
-std::string PredictorRegistry::JoinedNames() const {
-  return JoinNames(Names());
-}
-
 ProtocolRegistrar::ProtocolRegistrar(const std::string& name,
                                      ExecutionMode mode,
                                      ProtocolFactory factory) {
-  Status s = ProtocolRegistry::Global().Register(name, mode, std::move(factory));
-  if (!s.ok()) {
-    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
-    std::abort();
-  }
+  DieOnRegisterError(
+      ProtocolRegistry::Global().Register(name, mode, std::move(factory)));
 }
 
 WorkloadRegistrar::WorkloadRegistrar(const std::string& name,
                                      WorkloadFactory factory) {
-  Status s = WorkloadRegistry::Global().Register(name, std::move(factory));
-  if (!s.ok()) {
-    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
-    std::abort();
-  }
+  DieOnRegisterError(
+      WorkloadRegistry::Global().Register(name, std::move(factory)));
 }
 
 PredictorRegistrar::PredictorRegistrar(const std::string& name,
                                        PredictorFactory factory) {
-  Status s = PredictorRegistry::Global().Register(name, std::move(factory));
-  if (!s.ok()) {
-    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
-    std::abort();
-  }
+  DieOnRegisterError(
+      PredictorRegistry::Global().Register(name, std::move(factory)));
 }
 
 }  // namespace lion

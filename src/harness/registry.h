@@ -1,6 +1,7 @@
-// Self-registering factories for protocols and workloads.
+// Self-registering factories for protocols, workloads, and predictors.
 //
-// Each protocol/workload .cc file places a file-scope registrar stanza:
+// Each protocol/workload/predictor .cc file places a file-scope registrar
+// stanza:
 //
 //   namespace {
 //   const ProtocolRegistrar kRegisterTwoPc(
@@ -13,12 +14,19 @@
 // so adding a protocol or workload is a one-file operation: no harness
 // edits, no string switch to extend. Lookup failures surface as Status
 // (kNotFound), never as crashes.
+//
+// All three registries share one RegistryBase template: the map, the
+// Register/Unregister/Create/CheckExists plumbing, and the exact error
+// message shapes live in one place, parameterized by the registry's kind
+// noun ("protocol"/"workload"/"predictor") and an optional per-entry
+// payload (the protocol registry stores each entry's ExecutionMode there).
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -36,6 +44,101 @@ class WorkloadGenerator;
 /// each as it arrives (standard). Drives the default closed-loop window.
 enum class ExecutionMode { kStandard, kBatch };
 
+/// Joins names with ", " for error messages and listings.
+std::string JoinRegistryNames(const std::vector<std::string>& names);
+
+/// Payload type for registries whose entries carry nothing beyond the
+/// factory.
+struct NoPayload {};
+
+/// Common machinery behind the three registries. `Product` is the abstract
+/// type the factories build, `Context` the argument they receive, and
+/// `Payload` any per-entry metadata a concrete registry wants alongside the
+/// factory. Error messages are parameterized by `kind` (a singular noun)
+/// and an optional suffix appended inside the kNotFound listing's closing
+/// parenthesis — the predictor registry uses it to mention its "off"
+/// sentinel.
+template <typename Product, typename Context, typename Payload = NoPayload>
+class RegistryBase {
+ public:
+  using Factory = std::function<std::unique_ptr<Product>(const Context&)>;
+
+  /// Registers `name`; kAlreadyExists if the name is taken.
+  Status Register(const std::string& name, Payload payload, Factory factory) {
+    if (name.empty()) return Status::InvalidArgument("empty " + kind_ + " name");
+    if (factory == nullptr)
+      return Status::InvalidArgument("null factory for " + kind_ + " " + name);
+    auto [it, inserted] =
+        entries_.emplace(name, Entry{std::move(payload), std::move(factory)});
+    if (!inserted)
+      return Status::AlreadyExists(kind_ + " already registered: " + name);
+    return Status::OK();
+  }
+
+  /// Removes `name` (test support); kNotFound if absent.
+  Status Unregister(const std::string& name) {
+    if (entries_.erase(name) == 0)
+      return Status::NotFound(kind_ + " not registered: " + name);
+    return Status::OK();
+  }
+
+  /// OK iff `name` is registered; otherwise the canonical kNotFound
+  /// listing the known names (the same status Create would return).
+  Status CheckExists(const std::string& name) const {
+    if (entries_.count(name) > 0) return Status::OK();
+    return Status::NotFound("unknown " + kind_ + " \"" + name +
+                            "\" (known: " + JoinedNames() + not_found_hint_ +
+                            ")");
+  }
+
+  /// Instantiates `name` against `ctx`. kNotFound lists the known names.
+  Status Create(const std::string& name, const Context& ctx,
+                std::unique_ptr<Product>* out) const {
+    Status exists = CheckExists(name);
+    if (!exists.ok()) return exists;
+    auto it = entries_.find(name);
+    std::unique_ptr<Product> product = it->second.factory(ctx);
+    if (product == nullptr)
+      return Status::Internal("factory for " + kind_ + " " + name +
+                              " returned null");
+    *out = std::move(product);
+    return Status::OK();
+  }
+
+  bool Contains(const std::string& name) const {
+    return entries_.count(name) > 0;
+  }
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const {
+    std::vector<std::string> names;
+    names.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) names.push_back(name);
+    return names;  // std::map iterates sorted
+  }
+
+  /// Comma-joined Names(), for error messages and listings.
+  std::string JoinedNames() const { return JoinRegistryNames(Names()); }
+
+  size_t size() const { return entries_.size(); }
+
+ protected:
+  struct Entry {
+    Payload payload;
+    Factory factory;
+  };
+
+  RegistryBase(std::string kind, std::string not_found_hint)
+      : kind_(std::move(kind)), not_found_hint_(std::move(not_found_hint)) {}
+
+  std::map<std::string, Entry> entries_;
+
+ private:
+  std::string kind_;
+  // Appended before the closing ")" of the kNotFound known-names listing.
+  std::string not_found_hint_;
+};
+
 /// Everything a protocol factory may need: the full experiment config (each
 /// factory reads its own slice) plus the cluster substrate and metrics sink
 /// the instance will run against.
@@ -48,25 +151,13 @@ struct ProtocolContext {
 using ProtocolFactory =
     std::function<std::unique_ptr<Protocol>(const ProtocolContext&)>;
 
-class ProtocolRegistry {
+class ProtocolRegistry
+    : public RegistryBase<Protocol, ProtocolContext, ExecutionMode> {
  public:
   /// The process-wide registry all registrar stanzas feed.
   static ProtocolRegistry& Global();
 
-  /// Registers `name`; kAlreadyExists if the name is taken.
-  Status Register(const std::string& name, ExecutionMode mode,
-                  ProtocolFactory factory);
-
-  /// Removes `name` (test support); kNotFound if absent.
-  Status Unregister(const std::string& name);
-
-  /// Instantiates `name` against `ctx`. kNotFound lists the known names.
-  Status Create(const std::string& name, const ProtocolContext& ctx,
-                std::unique_ptr<Protocol>* out) const;
-
-  /// OK iff `name` is registered; otherwise the canonical kNotFound
-  /// listing the known names (the same status Create would return).
-  Status CheckExists(const std::string& name) const;
+  using RegistryBase::Register;  // (name, mode, factory)
 
   /// Execution mode of `name`; kNotFound if unregistered.
   Status Mode(const std::string& name, ExecutionMode* out) const;
@@ -74,27 +165,13 @@ class ProtocolRegistry {
   /// Convenience trait query: true iff `name` is registered as batch.
   bool IsBatch(const std::string& name) const;
 
-  bool Contains(const std::string& name) const;
-
-  /// All registered names, sorted.
-  std::vector<std::string> Names() const;
-
   /// Registered names whose execution mode is `mode`, sorted. Lets sweeps
   /// enumerate "every standard protocol" / "every batch protocol" from the
   /// registry instead of hard-coding name lists.
   std::vector<std::string> NamesByMode(ExecutionMode mode) const;
 
-  /// Comma-joined Names(), for error messages and listings.
-  std::string JoinedNames() const;
-
-  size_t size() const { return entries_.size(); }
-
  private:
-  struct Entry {
-    ExecutionMode mode;
-    ProtocolFactory factory;
-  };
-  std::map<std::string, Entry> entries_;
+  ProtocolRegistry() : RegistryBase("protocol", "") {}
 };
 
 /// Context handed to workload factories. `cluster` is live so workloads
@@ -107,22 +184,16 @@ struct WorkloadContext {
 using WorkloadFactory =
     std::function<std::unique_ptr<WorkloadGenerator>(const WorkloadContext&)>;
 
-class WorkloadRegistry {
+class WorkloadRegistry : public RegistryBase<WorkloadGenerator, WorkloadContext> {
  public:
   static WorkloadRegistry& Global();
 
-  Status Register(const std::string& name, WorkloadFactory factory);
-  Status Unregister(const std::string& name);
-  Status Create(const std::string& name, const WorkloadContext& ctx,
-                std::unique_ptr<WorkloadGenerator>* out) const;
-  Status CheckExists(const std::string& name) const;
-  bool Contains(const std::string& name) const;
-  std::vector<std::string> Names() const;
-  std::string JoinedNames() const;
-  size_t size() const { return entries_.size(); }
+  Status Register(const std::string& name, WorkloadFactory factory) {
+    return RegistryBase::Register(name, NoPayload{}, std::move(factory));
+  }
 
  private:
-  std::map<std::string, WorkloadFactory> entries_;
+  WorkloadRegistry() : RegistryBase("workload", "") {}
 };
 
 /// The `predictor.kind` value that disables workload prediction without
@@ -142,24 +213,22 @@ struct PredictorContext {
 using PredictorFactory =
     std::function<std::unique_ptr<PredictorInterface>(const PredictorContext&)>;
 
-class PredictorRegistry {
+class PredictorRegistry
+    : public RegistryBase<PredictorInterface, PredictorContext> {
  public:
   static PredictorRegistry& Global();
 
-  Status Register(const std::string& name, PredictorFactory factory);
-  Status Unregister(const std::string& name);
-  Status Create(const std::string& name, const PredictorContext& ctx,
-                std::unique_ptr<PredictorInterface>* out) const;
-  /// OK iff `name` is registered; the kNotFound message lists the known
-  /// names and mentions the "off" sentinel (callers check that separately).
-  Status CheckExists(const std::string& name) const;
-  bool Contains(const std::string& name) const;
-  std::vector<std::string> Names() const;
-  std::string JoinedNames() const;
-  size_t size() const { return entries_.size(); }
+  /// Registers `name`; rejects the reserved "off" sentinel.
+  Status Register(const std::string& name, PredictorFactory factory) {
+    if (name == kPredictorOff)
+      return Status::InvalidArgument(
+          "\"off\" is reserved (disables prediction), not a predictor name");
+    return RegistryBase::Register(name, NoPayload{}, std::move(factory));
+  }
 
  private:
-  std::map<std::string, PredictorFactory> entries_;
+  PredictorRegistry()
+      : RegistryBase("predictor", "; \"off\" disables prediction") {}
 };
 
 /// File-scope registration helpers. Construction registers into the global

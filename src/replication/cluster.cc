@@ -5,7 +5,7 @@ namespace lion {
 Cluster::Cluster(Simulator* sim, const ClusterConfig& config)
     : sim_(sim),
       config_(config),
-      network_(sim, config.net),
+      network_(sim, config.net, config.num_nodes),
       router_(config.num_nodes, config.total_partitions()) {
   router_.InitRoundRobin(config_.init_replicas);
 

@@ -1,18 +1,31 @@
 #include "sim/network.h"
 
+#include <cassert>
 #include <cmath>
 #include <utility>
 
 namespace lion {
 
-Network::Network(Simulator* sim, NetworkConfig config)
-    : sim_(sim), config_(config), total_bytes_(0), total_messages_(0) {}
+namespace {
+// Stream constant separating the jitter RNG from the experiment RNG seeded
+// with the same value (golden-ratio increment, as in splitmix64).
+constexpr uint64_t kJitterStreamSalt = 0x9e3779b97f4a7c15ULL;
+}  // namespace
+
+Network::Network(Simulator* sim, NetworkConfig config, int num_nodes)
+    : sim_(sim),
+      config_(std::move(config)),
+      topology_(config_, num_nodes),
+      jitter_rng_(sim->seed() ^ kJitterStreamSalt),
+      total_bytes_(0),
+      total_messages_(0) {}
 
 SimTime Network::TransferDelay(NodeId from, NodeId to, uint64_t bytes) const {
   if (from == to) return config_.local_latency;
   double serialization =
-      static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec * kSecond;
-  return config_.one_way_latency + static_cast<SimTime>(std::llround(serialization));
+      static_cast<double>(bytes) / topology_.bandwidth(from, to) * kSecond;
+  return topology_.base_latency(from, to) +
+         static_cast<SimTime>(std::llround(serialization));
 }
 
 void Network::RollWindows() {
@@ -24,6 +37,21 @@ void Network::Send(NodeId from, NodeId to, uint64_t bytes,
                    Simulator::EventFn on_delivery) {
   SimTime delay = TransferDelay(from, to, bytes);
   if (from != to) {
+    if (config_.jitter_pct > 0.0) {
+#ifndef NDEBUG
+      // Jitter must come from the dedicated stream: a draw from the
+      // experiment RNG here would shift every downstream workload/protocol
+      // sequence the moment jitter is enabled.
+      const uint64_t experiment_stream_before = sim_->rng().StateFingerprint();
+#endif
+      double u = 2.0 * jitter_rng_.NextDouble() - 1.0;  // [-1, 1)
+      delay += static_cast<SimTime>(
+          std::llround(u * config_.jitter_pct * static_cast<double>(delay)));
+#ifndef NDEBUG
+      assert(sim_->rng().StateFingerprint() == experiment_stream_before &&
+             "network jitter drew from the experiment RNG stream");
+#endif
+    }
     total_bytes_ += bytes;
     total_messages_ += 1;
     RollWindows();

@@ -5,29 +5,58 @@
 #include <vector>
 
 #include "common/move_fn.h"
+#include "common/rng.h"
 #include "common/types.h"
 #include "sim/simulator.h"
+#include "sim/topology.h"
 
 namespace lion {
 
 /// Tunable network characteristics. Defaults approximate the paper's
-/// testbed: ~937 Mbit/s links with ~100 us small-message round trips.
+/// testbed: ~937 Mbit/s links with ~100 us small-message round trips in a
+/// single region. The region fields widen the model to a WAN: nodes are
+/// assigned to regions and each region pair gets its own one-way latency
+/// and bandwidth (see sim/topology.h). The defaults keep one region, which
+/// reproduces the flat model exactly.
 struct NetworkConfig {
-  /// One-way propagation + kernel/stack latency for any remote message.
+  /// One-way propagation + kernel/stack latency for any intra-region remote
+  /// message.
   SimTime one_way_latency = 25 * kMicrosecond;
-  /// Link bandwidth in bytes per second (937 Mbit/s ~ 117 MB/s).
+  /// Intra-region link bandwidth in bytes per second (937 Mbit/s ~ 117 MB/s).
   double bandwidth_bytes_per_sec = 117.0 * 1024 * 1024;
   /// Cost of a loopback (same node) message.
   SimTime local_latency = 1 * kMicrosecond;
   /// Width of the bytes/messages accounting windows (Fig. 12b series).
   SimTime stats_window = 100 * kMillisecond;
+
+  // --- geo-replication topology (sim/topology.h) ---------------------------
+  /// Number of geographic regions (1 = the classic flat model).
+  int regions = 1;
+  /// Region of each node; empty assigns contiguous equal blocks.
+  std::vector<int> node_regions;
+  /// Flattened row-major regions x regions one-way latency matrix in
+  /// milliseconds; empty derives it from one_way_latency (diagonal) and
+  /// cross_region_latency (off-diagonal).
+  std::vector<double> region_latency_ms;
+  /// Default one-way latency between distinct regions when no matrix is
+  /// declared (~continental WAN hop).
+  SimTime cross_region_latency = 30 * kMillisecond;
+  /// Flattened row-major regions x regions bandwidth matrix (bytes/sec);
+  /// empty uses bandwidth_bytes_per_sec for every pair.
+  std::vector<double> region_bandwidth_bytes_per_sec;
+  /// Symmetric multiplicative delivery jitter: each sent message's delay is
+  /// scaled by a deterministic seeded draw from [1 - jitter_pct,
+  /// 1 + jitter_pct). 0 disables jitter (and draws nothing).
+  double jitter_pct = 0.0;
 };
 
 /// Delivers messages between simulated nodes with latency + serialization
 /// delay and tracks bytes/messages, both in total and per time window.
 class Network {
  public:
-  Network(Simulator* sim, NetworkConfig config);
+  /// `num_nodes` sizes the topology's node -> region table; the default
+  /// suits single-region unit tests where every node maps to region 0.
+  Network(Simulator* sim, NetworkConfig config, int num_nodes = 1);
 
   /// Sends `bytes` from `from` to `to`; `on_delivery` runs at arrival time.
   /// Loopback messages cost `local_latency` and are not counted as network
@@ -35,11 +64,21 @@ class Network {
   /// The callback is a move-only MoveFn: a small caller lambda goes straight
   /// into the delivery event's inline storage with no std::function
   /// conversion (and no allocation) on this per-message path.
+  ///
+  /// With jitter_pct > 0 the delivery delay (never TransferDelay, which
+  /// cost models need deterministic) is scaled by a draw from the dedicated
+  /// jitter stream — never from the experiment RNG, so enabling jitter
+  /// cannot perturb workload/protocol random sequences (same discipline as
+  /// the simulator's calendar-geometry stream).
   void Send(NodeId from, NodeId to, uint64_t bytes,
             Simulator::EventFn on_delivery);
 
-  /// Computes the delivery delay without sending (used by cost models).
+  /// Computes the jitter-free delivery delay without sending: region-pair
+  /// base latency plus serialization at the region-pair bandwidth (used by
+  /// cost models).
   SimTime TransferDelay(NodeId from, NodeId to, uint64_t bytes) const;
+
+  const Topology& topology() const { return topology_; }
 
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t total_messages() const { return total_messages_; }
@@ -54,6 +93,10 @@ class Network {
 
   Simulator* sim_;
   NetworkConfig config_;
+  Topology topology_;
+  // Dedicated jitter stream, derived from the experiment seed with a fixed
+  // stream constant so it never aliases the experiment RNG sequence.
+  Rng jitter_rng_;
   uint64_t total_bytes_;
   uint64_t total_messages_;
   std::vector<uint64_t> window_bytes_;

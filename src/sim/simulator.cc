@@ -68,6 +68,7 @@ size_t NextPow2(size_t n) {
 
 Simulator::Simulator(uint64_t seed, SimConfig config)
     : config_(config),
+      seed_(seed),
       now_(0),
       next_seq_(0),
       processed_(0),

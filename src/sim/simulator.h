@@ -69,6 +69,12 @@ class Simulator {
 
   /// The experiment-wide deterministic RNG.
   Rng& rng() { return rng_; }
+  const Rng& rng() const { return rng_; }
+
+  /// The seed this simulator (and its RNG) was constructed with. Components
+  /// that keep private streams (network jitter) derive theirs from it so a
+  /// whole experiment remains a function of one seed.
+  uint64_t seed() const { return seed_; }
 
  private:
   // Both schedulers order only trivially-copyable entries; the closure
@@ -126,6 +132,7 @@ class Simulator {
   uint32_t SampleBucketShift();
 
   SimConfig config_;
+  uint64_t seed_;
   SimTime now_;
   uint64_t next_seq_;
   uint64_t processed_;

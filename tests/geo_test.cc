@@ -1,0 +1,333 @@
+// Geo-replication tests: topology tables and validation, region-aware
+// network delays with deterministic jitter, placement constraints, and
+// end-to-end determinism of the geo_occ protocol.
+#include <gtest/gtest.h>
+
+#include "core/geo_placement.h"
+#include "core/lion_protocol.h"
+#include "harness/config_schema.h"
+#include "harness/experiment.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+
+namespace lion {
+namespace {
+
+// --- Topology ---------------------------------------------------------------
+
+TEST(TopologyTest, FlatDefaultReproducesSingleDatacenterModel) {
+  NetworkConfig cfg;
+  Topology topo(cfg, 4);
+  EXPECT_EQ(topo.regions(), 1);
+  EXPECT_EQ(topo.region_of(0), 0);
+  EXPECT_EQ(topo.region_of(3), 0);
+  EXPECT_FALSE(topo.cross_region(0, 3));
+  EXPECT_EQ(topo.base_latency(0, 3), cfg.one_way_latency);
+  EXPECT_EQ(topo.bandwidth(1, 2), cfg.bandwidth_bytes_per_sec);
+  EXPECT_EQ(topo.max_cross_region_latency(), 0);
+}
+
+TEST(TopologyTest, DefaultAssignmentSplitsNodesIntoContiguousBlocks) {
+  NetworkConfig cfg;
+  cfg.regions = 2;
+  Topology topo(cfg, 4);
+  EXPECT_EQ(topo.region_of(0), 0);
+  EXPECT_EQ(topo.region_of(1), 0);
+  EXPECT_EQ(topo.region_of(2), 1);
+  EXPECT_EQ(topo.region_of(3), 1);
+  EXPECT_TRUE(topo.cross_region(1, 2));
+  // No matrix declared: intra-region pairs keep the LAN latency, distinct
+  // regions the scalar WAN default.
+  EXPECT_EQ(topo.base_latency(0, 1), cfg.one_way_latency);
+  EXPECT_EQ(topo.base_latency(1, 2), cfg.cross_region_latency);
+  EXPECT_EQ(topo.max_cross_region_latency(), cfg.cross_region_latency);
+}
+
+TEST(TopologyTest, ExplicitMatricesDriveLatencyAndBandwidth) {
+  NetworkConfig cfg;
+  cfg.regions = 2;
+  cfg.node_regions = {0, 1, 0, 1};  // interleaved, not the block default
+  cfg.region_latency_ms = {0.05, 30.0, 30.0, 0.05};
+  cfg.region_bandwidth_bytes_per_sec = {1e9, 1e6, 1e6, 1e9};
+  Topology topo(cfg, 4);
+  EXPECT_EQ(topo.region_of(1), 1);
+  EXPECT_EQ(topo.region_of(2), 0);
+  EXPECT_EQ(topo.base_latency(0, 2), 50 * kMicrosecond);   // 0 -> 0
+  EXPECT_EQ(topo.base_latency(0, 1), 30 * kMillisecond);   // 0 -> 1
+  EXPECT_EQ(topo.bandwidth(0, 2), 1e9);
+  EXPECT_EQ(topo.bandwidth(0, 1), 1e6);
+  EXPECT_EQ(topo.max_cross_region_latency(), 30 * kMillisecond);
+}
+
+TEST(TopologyTest, ValidateRejectsBadGeometry) {
+  NetworkConfig cfg;
+  cfg.regions = 2;
+
+  cfg.node_regions = {0, 1, 0};  // three entries for four nodes
+  Status s = Topology::Validate(cfg, 4);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("cluster.net.node_regions"), std::string::npos);
+
+  cfg.node_regions = {0, 1, 0, 2};  // region 2 out of range
+  s = Topology::Validate(cfg, 4);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("node_regions[3]"), std::string::npos);
+  EXPECT_NE(s.message().find("unknown region 2"), std::string::npos);
+
+  cfg.node_regions = {0, 1, 0, 1};
+  cfg.region_latency_ms = {1.0, 2.0};  // needs regions^2 = 4 entries
+  s = Topology::Validate(cfg, 4);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("regions^2"), std::string::npos);
+}
+
+// --- Network over the topology ----------------------------------------------
+
+TEST(GeoNetworkTest, CrossRegionDelayUsesRegionPairLatencyAndBandwidth) {
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.regions = 2;
+  cfg.one_way_latency = 25 * kMicrosecond;
+  cfg.cross_region_latency = 30 * kMillisecond;
+  cfg.bandwidth_bytes_per_sec = 1e6;  // 1 MB/s: 1000 bytes = 1 ms
+  Network net(&sim, cfg, /*num_nodes=*/4);
+  SimTime intra = -1, cross = -1;
+  net.Send(0, 1, 1000, [&]() { intra = sim.Now(); });  // both region 0
+  net.Send(0, 3, 1000, [&]() { cross = sim.Now(); });  // region 0 -> 1
+  sim.RunUntilIdle();
+  EXPECT_EQ(intra, 25 * kMicrosecond + 1 * kMillisecond);
+  EXPECT_EQ(cross, 30 * kMillisecond + 1 * kMillisecond);
+}
+
+TEST(GeoNetworkTest, JitterIsBoundedAndDeterministic) {
+  NetworkConfig cfg;
+  cfg.regions = 2;
+  cfg.cross_region_latency = 30 * kMillisecond;
+  cfg.jitter_pct = 0.1;
+  SimTime nominal = cfg.cross_region_latency +
+                    static_cast<SimTime>(std::llround(
+                        1000.0 / cfg.bandwidth_bytes_per_sec * kSecond));
+  auto deliver_times = [&cfg](uint64_t seed) {
+    Simulator sim(seed);
+    Network net(&sim, cfg, 4);
+    std::vector<SimTime> times;
+    for (int i = 0; i < 16; ++i) {
+      net.Send(0, 3, 1000, [&]() { times.push_back(sim.Now()); });
+    }
+    sim.RunUntilIdle();
+    return times;
+  };
+  std::vector<SimTime> a = deliver_times(7);
+  ASSERT_EQ(a.size(), 16u);
+  bool varied = false;
+  for (SimTime t : a) {
+    EXPECT_GE(t, static_cast<SimTime>(0.9 * nominal));
+    EXPECT_LE(t, static_cast<SimTime>(1.1 * nominal));
+    if (t != a[0]) varied = true;
+  }
+  EXPECT_TRUE(varied);  // +-10% of 30 ms: 16 equal draws would be a bug
+  EXPECT_EQ(a, deliver_times(7));   // same seed, same jitter
+  EXPECT_NE(a, deliver_times(8));   // different seed, different jitter
+}
+
+// --- Config schema ----------------------------------------------------------
+
+TEST(GeoConfigSchemaTest, RegionFieldsRoundTripExactly) {
+  ExperimentConfig cfg;
+  cfg.cluster.num_nodes = 4;
+  cfg.cluster.net.regions = 3;
+  cfg.cluster.net.node_regions = {0, 0, 1, 2};
+  cfg.cluster.net.region_latency_ms = {0.05, 30, 80, 30, 0.05, 50,
+                                       80, 50, 0.05};
+  cfg.cluster.net.cross_region_latency = 45 * kMillisecond;
+  cfg.cluster.net.region_bandwidth_bytes_per_sec =
+      std::vector<double>(9, 2.5e8);
+  cfg.cluster.net.jitter_pct = 0.07;
+  cfg.lion.geo.replica_regions = {0, 2};
+  cfg.lion.geo.min_replicas_per_region = 2;
+  cfg.lion.geo.wan_migration_multiplier = 4.0;
+  cfg.lion.geo.hot_primary_pin_threshold = 0.6;
+
+  std::string text = EmitExperimentConfig(cfg).Dump();
+  Json doc;
+  ASSERT_TRUE(Json::Parse(text, &doc).ok()) << text;
+  ExperimentConfig back;
+  Status s = ParseExperimentConfig(doc, &back);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(EmitExperimentConfig(back).Dump(), text);
+  EXPECT_EQ(back.cluster.net.node_regions, cfg.cluster.net.node_regions);
+  EXPECT_EQ(back.lion.geo.replica_regions, cfg.lion.geo.replica_regions);
+}
+
+TEST(GeoConfigSchemaTest, ValidationErrorsCarryDottedPaths) {
+  ExperimentConfig cfg;
+  cfg.cluster.num_nodes = 4;
+  cfg.cluster.net.regions = 2;
+  cfg.cluster.net.node_regions = {0, 1};  // wrong length for 4 nodes
+  Status s = ExperimentBuilder(cfg).Validate();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("cluster.net.node_regions"), std::string::npos);
+
+  cfg.cluster.net.node_regions.clear();
+  cfg.lion.geo.replica_regions = {0, 5};  // region 5 does not exist
+  s = ExperimentBuilder(cfg).Validate();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("lion.geo.replica_regions"), std::string::npos);
+
+  cfg.lion.geo.replica_regions = {0, 1};
+  cfg.lion.geo.min_replicas_per_region = cfg.cluster.max_replicas + 1;
+  s = ExperimentBuilder(cfg).Validate();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("min_replicas_per_region"), std::string::npos);
+
+  // Per-element schema checks report the offending index.
+  cfg = ExperimentConfig{};
+  cfg.cluster.net.node_regions = {0, -1};
+  s = ValidateExperimentConfig(cfg);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("node_regions[1]"), std::string::npos);
+}
+
+// --- GeoPlacement -----------------------------------------------------------
+
+NetworkConfig TwoRegionNet() {
+  NetworkConfig net;
+  net.regions = 2;  // block default over 4 nodes: {0, 0, 1, 1}
+  return net;
+}
+
+TEST(GeoPlacementTest, DefaultsConstrainNothing) {
+  NetworkConfig net = TwoRegionNet();
+  Topology topo(net, 4);
+  GeoPlacement geo(GeoPlacementConfig{}, &topo);
+  RouterTable table(4, 8);
+  table.InitRoundRobin(1);
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_TRUE(geo.AllowsNode(n));
+    EXPECT_TRUE(geo.AllowsPrimaryOn(table, 0, n));
+  }
+  EXPECT_EQ(geo.MigrationMultiplier(0, 3), 1.0);
+  EXPECT_EQ(geo.EnsureRegionalReplicas(&table, 4), 0);
+}
+
+TEST(GeoPlacementTest, ReplicaRegionsRestrictNodes) {
+  NetworkConfig net = TwoRegionNet();
+  Topology topo(net, 4);
+  GeoPlacementConfig cfg;
+  cfg.replica_regions = {1};
+  GeoPlacement geo(cfg, &topo);
+  EXPECT_FALSE(geo.AllowsRegion(0));
+  EXPECT_TRUE(geo.AllowsRegion(1));
+  EXPECT_FALSE(geo.AllowsNode(0));
+  EXPECT_FALSE(geo.AllowsNode(1));
+  EXPECT_TRUE(geo.AllowsNode(2));
+  EXPECT_TRUE(geo.AllowsNode(3));
+}
+
+TEST(GeoPlacementTest, HotPrimariesMayNotCrossRegions) {
+  NetworkConfig net = TwoRegionNet();
+  Topology topo(net, 4);
+  GeoPlacementConfig cfg;
+  cfg.hot_primary_pin_threshold = 0.5;
+  GeoPlacement geo(cfg, &topo);
+  RouterTable table(4, 8);
+  table.InitRoundRobin(1);
+  // Partition 0 (primary on node 0) becomes the hottest; partition 1 stays
+  // cold relative to it.
+  for (int i = 0; i < 100; ++i) table.RecordAccess(0);
+  table.RecordAccess(1);
+  ASSERT_GE(table.NormalizedFrequency(0), 0.5);
+  ASSERT_LT(table.NormalizedFrequency(1), 0.5);
+  // Hot: intra-region move allowed, cross-region pinned.
+  EXPECT_TRUE(geo.AllowsPrimaryOn(table, 0, 1));
+  EXPECT_FALSE(geo.AllowsPrimaryOn(table, 0, 2));
+  // Cold: free to cross.
+  EXPECT_TRUE(geo.AllowsPrimaryOn(table, 1, 3));
+}
+
+TEST(GeoPlacementTest, MigrationMultiplierPricesWanMoves) {
+  NetworkConfig net = TwoRegionNet();
+  Topology topo(net, 4);
+  GeoPlacementConfig cfg;
+  cfg.wan_migration_multiplier = 6.5;
+  GeoPlacement geo(cfg, &topo);
+  EXPECT_EQ(geo.MigrationMultiplier(0, 1), 1.0);   // within region 0
+  EXPECT_EQ(geo.MigrationMultiplier(2, 3), 1.0);   // within region 1
+  EXPECT_EQ(geo.MigrationMultiplier(1, 2), 6.5);   // across the WAN
+}
+
+TEST(GeoPlacementTest, EnsureRegionalReplicasEstablishesInvariant) {
+  NetworkConfig net = TwoRegionNet();
+  Topology topo(net, 4);
+  GeoPlacementConfig cfg;
+  cfg.min_replicas_per_region = 1;
+  GeoPlacement geo(cfg, &topo);
+  RouterTable table(4, 8);
+  table.InitRoundRobin(1);  // primaries only: no partition covers both regions
+  int added = geo.EnsureRegionalReplicas(&table, /*max_replicas=*/4);
+  EXPECT_EQ(added, 8);  // one new secondary per partition, in the other region
+  for (PartitionId p = 0; p < 8; ++p) {
+    int per_region[2] = {0, 0};
+    for (NodeId n = 0; n < 4; ++n) {
+      if (table.HasReplica(n, p)) per_region[topo.region_of(n)]++;
+    }
+    EXPECT_GE(per_region[0], 1) << "partition " << p;
+    EXPECT_GE(per_region[1], 1) << "partition " << p;
+  }
+  // Idempotent: the invariant already holds.
+  EXPECT_EQ(geo.EnsureRegionalReplicas(&table, 4), 0);
+}
+
+TEST(GeoPlacementTest, MaxReplicasCapsProvisioning) {
+  NetworkConfig net = TwoRegionNet();
+  Topology topo(net, 4);
+  GeoPlacementConfig cfg;
+  cfg.min_replicas_per_region = 2;
+  GeoPlacement geo(cfg, &topo);
+  RouterTable table(4, 8);
+  table.InitRoundRobin(1);
+  geo.EnsureRegionalReplicas(&table, /*max_replicas=*/2);
+  for (PartitionId p = 0; p < 8; ++p) {
+    EXPECT_LE(table.group(p).LiveReplicaCount(), 2) << "partition " << p;
+  }
+}
+
+// --- geo_occ end to end -----------------------------------------------------
+
+ExperimentConfig GeoOccConfig() {
+  ExperimentConfig cfg;
+  cfg.protocol = "geo_occ";
+  cfg.cluster.num_nodes = 4;
+  cfg.cluster.partitions_per_node = 2;
+  cfg.cluster.records_per_partition = 2000;
+  cfg.cluster.net.regions = 3;
+  cfg.cluster.net.jitter_pct = 0.05;
+  cfg.ycsb.cross_pattern = CrossPattern::kRandomNode;
+  cfg.ycsb.cross_ratio = 0.5;
+  cfg.warmup = 200 * kMillisecond;
+  cfg.duration = 1 * kSecond;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(GeoOccTest, CommitsAcrossRegionsAndRetriesConflicts) {
+  ExperimentResult res;
+  Status s = ExperimentBuilder(GeoOccConfig()).Run(&res);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GT(res.committed, 100u);
+  EXPECT_GT(res.distributed, 0u);
+  // Epoch-aligned visibility: nothing commits faster than the epoch close.
+  EXPECT_GE(res.p50_us,
+            ToSeconds(ClusterConfig{}.epoch_interval) * 1e6 * 0.5);
+}
+
+TEST(GeoOccTest, FixedSeedRunsAreByteIdentical) {
+  ExperimentResult a, b;
+  ASSERT_TRUE(ExperimentBuilder(GeoOccConfig()).Run(&a).ok());
+  ASSERT_TRUE(ExperimentBuilder(GeoOccConfig()).Run(&b).ok());
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+}
+
+}  // namespace
+}  // namespace lion

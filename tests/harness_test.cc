@@ -49,9 +49,9 @@ TEST_P(AllProtocolsTest, CommitsTransactionsOnYcsb) {
 INSTANTIATE_TEST_SUITE_P(Protocols, AllProtocolsTest,
                          ::testing::Values("2PC", "Leap", "Clay", "Star",
                                            "Calvin", "Hermes", "Aria", "Lotus",
-                                           "Lion", "Lion(S)", "Lion(R)",
-                                           "Lion(SW)", "Lion(RW)", "Lion(RB)",
-                                           "Lion(B)"));
+                                           "geo_occ", "Lion", "Lion(S)",
+                                           "Lion(R)", "Lion(SW)", "Lion(RW)",
+                                           "Lion(RB)", "Lion(B)"));
 
 class TpccProtocolsTest : public ::testing::TestWithParam<const char*> {};
 
