@@ -131,14 +131,18 @@ inline void PrintSeries(const std::string& tag, const ExperimentResult& res) {
 
 /// Shared main(): flag parsing, filtered SweepRunner execution, ordered
 /// reporting with optional --repeat medians, optional merged-JSON emission.
-/// `extra_json`, when set, returns additional top-level members (without
-/// braces, e.g. `"reference":{...}`) spliced into the merged JSON document —
-/// figure binaries use it for analytic reference curves that accompany the
-/// measured runs. Returns the process exit code (1 if any point failed to
-/// build/run).
+/// `extra_json`, when set, receives every point's outcome and returns
+/// additional top-level members (without braces, e.g. `"reference":{...}`)
+/// spliced into the merged JSON document — figure binaries use it for
+/// analytic reference curves and derived per-point metrics that accompany
+/// the measured runs. Returns the process exit code (1 if any point failed
+/// to build/run).
+using ExtraJsonFn =
+    std::function<std::string(const std::vector<SweepOutcome>&)>;
+
 inline int SweepMain(int argc, char** argv, const char* title,
                      std::vector<PointSpec> specs,
-                     std::function<std::string()> extra_json = nullptr) {
+                     ExtraJsonFn extra_json = nullptr) {
   std::string filter;
   std::string json_path;
   std::string sweep_path;
@@ -242,7 +246,7 @@ inline int SweepMain(int argc, char** argv, const char* title,
   if (!json_path.empty()) {
     std::string json = MergeRepeatJson(outcomes, repeat);
     if (extra_json) {
-      std::string extra = extra_json();
+      std::string extra = extra_json(outcomes);
       // The merged document is a single object; splice the extra members
       // just inside its closing brace.
       if (!extra.empty() && !json.empty() && json.back() == '}') {

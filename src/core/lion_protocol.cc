@@ -63,7 +63,7 @@ void LionProtocol::OnEpoch(SimTime now) {
   FlushBatch();
 }
 
-void LionProtocol::Submit(TxnPtr txn, TxnDoneFn done) {
+void LionProtocol::SubmitTxn(TxnPtr txn, TxnDoneFn done) {
   std::vector<PartitionId> parts = txn->Partitions();
   for (PartitionId p : parts) cluster_->router().RecordAccess(p);
   if (planner_ != nullptr) planner_->RecordTxn(parts, cluster_->sim()->Now());

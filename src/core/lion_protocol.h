@@ -61,7 +61,11 @@ class LionProtocol : public Protocol {
   /// Epoch boundary (batch mode): flush the buffered batch.
   void OnEpoch(SimTime now) override;
 
-  void Submit(TxnPtr txn, TxnDoneFn done) override;
+  void SubmitTxn(TxnPtr txn, TxnDoneFn done) override;
+
+  /// Lion's geo constraints, exposed so the chaos harness can make
+  /// failover elections and crash re-provisioning respect them.
+  const GeoPlacement* geo_placement() const override { return &geo_placement_; }
 
   Planner* planner() { return planner_.get(); }
   PredictorInterface* predictor() { return predictor_.get(); }

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "harness/experiment_config.h"
+#include "replication/chaos_config.h"
 
 namespace lion {
 
@@ -567,6 +568,37 @@ const ConfigSchema& SimConfigSchema() {
   return schema;
 }
 
+const ConfigSchema& ChaosConfigSchema() {
+  static const ConfigSchema schema = [] {
+    ConfigSchemaBuilder<ChaosConfig> b("ChaosConfig");
+    b.Field("schedule", &ChaosConfig::schedule,
+            "scripted fault events, one per line: \"<time> <kind> [args]\" "
+            "with time unit-suffixed (ns/us/ms/s) and kind one of crash N, "
+            "recover N, partition N1,N2,..., heal, lag_storm DURATION, "
+            "migrate PID NODE; empty disables chaos entirely",
+            [](const std::string& line) -> std::string {
+              ChaosEvent ev;
+              Status s = ChaosEvent::Parse(line, &ev);
+              return s.ok() ? "" : s.message();
+            });
+    b.Field("max_unavailable_retries", &ChaosConfig::max_unavailable_retries,
+            "deferrals before a transaction touching an unavailable "
+            "partition is counted as aborted_unavailable",
+            check::AtLeast<int>(0));
+    b.Time("unavailable_backoff_us", &ChaosConfig::unavailable_backoff,
+           kMicrosecond,
+           "base of the deterministic linear backoff between "
+           "unavailability deferrals", check::Positive<SimTime>());
+    b.Field("check_integrity", &ChaosConfig::check_integrity,
+            "run the post-run cluster integrity checker");
+    b.Field("track_commits", &ChaosConfig::track_commits,
+            "record committed writes in a ledger so the integrity checker "
+            "can verify their effects are present");
+    return std::move(b).Build();
+  }();
+  return schema;
+}
+
 const ConfigSchema& ExperimentConfigSchema() {
   static const ConfigSchema schema = [] {
     ConfigSchemaBuilder<ExperimentConfig> b("ExperimentConfig");
@@ -603,6 +635,9 @@ const ConfigSchema& ExperimentConfigSchema() {
              "Clay baseline options");
     b.Nested("sim", &ExperimentConfig::sim, SimConfigSchema(),
              "simulator internals (scheduler choice; never affects results)");
+    b.Nested("chaos", &ExperimentConfig::chaos, ChaosConfigSchema(),
+             "scripted fault schedule, graceful degradation and post-run "
+             "integrity checking (inactive while the schedule is empty)");
     return std::move(b).Build();
   }();
   return schema;

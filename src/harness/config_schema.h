@@ -49,6 +49,7 @@ struct PredictorConfig;
 struct LstmConfig;
 struct ClayConfig;
 struct SimConfig;
+struct ChaosConfig;
 
 /// Joins a dotted path prefix with a field name ("" + "ycsb" -> "ycsb",
 /// "ycsb" + "cross_ratio" -> "ycsb.cross_ratio").
@@ -368,6 +369,40 @@ class ConfigSchemaBuilder {
     return *this;
   }
 
+  /// String array field (JSON array of strings); the chaos schedule's
+  /// event lines parse through this. See the int overload for semantics.
+  ConfigSchemaBuilder& Field(const char* name, std::vector<std::string> T::*m,
+                             const char* help,
+                             FieldCheck<std::string> element_check = nullptr) {
+    ConfigFieldSpec spec = Base(name, help);
+    spec.parse = [m](void* obj, const Json& v, const std::string& path) {
+      if (!v.is_array())
+        return Status::InvalidArgument(path + ": expected array, got " +
+                                       JsonTypeName(v.type()));
+      std::vector<std::string> vec;
+      vec.reserve(v.items().size());
+      for (size_t i = 0; i < v.items().size(); ++i) {
+        const Json& e = v.items()[i];
+        if (!e.is_string())
+          return Status::InvalidArgument(path + "[" + std::to_string(i) +
+                                         "]: expected string, got " +
+                                         JsonTypeName(e.type()));
+        vec.push_back(e.str());
+      }
+      static_cast<T*>(obj)->*m = std::move(vec);
+      return Status::OK();
+    };
+    spec.emit = [m](const void* obj) {
+      Json arr = Json::Array();
+      for (const std::string& e : static_cast<const T*>(obj)->*m)
+        arr.Add(Json::Str(e));
+      return arr;
+    };
+    AttachElementCheck(&spec, m, std::move(element_check));
+    Push(std::move(spec));
+    return *this;
+  }
+
   /// SimTime field: the JSON value is a number in `unit` (kSecond,
   /// kMillisecond, ...; the name should carry the matching _s/_ms/_us/_ns
   /// suffix) converted to nanoseconds at the nearest integer.
@@ -507,6 +542,7 @@ const ConfigSchema& GeoPlacementConfigSchema();
 const ConfigSchema& LionOptionsSchema();
 const ConfigSchema& ClayConfigSchema();
 const ConfigSchema& SimConfigSchema();
+const ConfigSchema& ChaosConfigSchema();
 const ConfigSchema& ExperimentConfigSchema();
 
 // --- derived flag surface ----------------------------------------------------

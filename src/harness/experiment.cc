@@ -7,6 +7,8 @@
 #include "core/geo_placement.h"
 #include "harness/config_schema.h"
 #include "harness/driver.h"
+#include "replication/chaos.h"
+#include "replication/integrity.h"
 #include "sim/topology.h"
 
 namespace lion {
@@ -98,6 +100,40 @@ std::string ExperimentResult::ToJson() const {
   AppendJsonSeries(&json, "window_throughput", window_throughput, &first);
   AppendJsonSeries(&json, "window_bytes_per_txn", window_bytes_per_txn,
                    &first);
+  if (chaos_active) {
+    // Chaos-only fields live behind this gate so that chaos-off runs emit
+    // byte-identical JSON to a build without the subsystem.
+    AppendJsonField(&json, "aborted_unavailable", aborted_unavailable, &first);
+    AppendJsonField(&json, "failovers", failovers, &first);
+    AppendJsonField(&json, "elections_rerun", elections_rerun, &first);
+    AppendJsonField(&json, "messages_dropped", messages_dropped, &first);
+    AppendJsonSeries(&json, "window_availability", window_availability,
+                     &first);
+    json += ",\"fault_events\":[";
+    for (size_t i = 0; i < fault_events.size(); ++i) {
+      if (i > 0) json += ",";
+      json += "{";
+      bool ffirst = true;
+      AppendJsonField(&json, "t_ms", fault_events[i].t_ms, &ffirst);
+      AppendJsonField(&json, "event", fault_events[i].description, &ffirst);
+      json += "}";
+    }
+    json += "],\"integrity\":{";
+    bool ifirst = true;
+    AppendJsonField(&json, "violations", integrity_violations, &ifirst);
+    AppendJsonField(&json, "partitions_checked", integrity_partitions_checked,
+                    &ifirst);
+    AppendJsonField(&json, "writes_checked", integrity_writes_checked,
+                    &ifirst);
+    json += ",\"messages\":[";
+    for (size_t i = 0; i < integrity_messages.size(); ++i) {
+      if (i > 0) json += ",";
+      json += "\"";
+      json += integrity_messages[i];  // checker messages: no quotes/escapes
+      json += "\"";
+    }
+    json += "]}";
+  }
   json += "}";
   return json;
 }
@@ -128,7 +164,11 @@ Status ExperimentBuilder::Validate() const {
   Status topo_valid = Topology::Validate(config_.cluster.net,
                                          config_.cluster.num_nodes);
   if (!topo_valid.ok()) return topo_valid;
-  return GeoPlacement::Validate(config_.lion, config_.cluster);
+  Status geo_valid = GeoPlacement::Validate(config_.lion, config_.cluster);
+  if (!geo_valid.ok()) return geo_valid;
+  // Chaos schedules reference concrete node/partition ids — cross-field
+  // like the topology checks above.
+  return ChaosController::Validate(config_.chaos, config_.cluster);
 }
 
 Status ExperimentBuilder::Build(std::unique_ptr<Experiment>* out) const {
@@ -153,6 +193,15 @@ Status ExperimentBuilder::Build(std::unique_ptr<Experiment>* out) const {
   s = WorkloadRegistry::Global().Create(config_.workload, wctx,
                                         &ex->workload_);
   if (!s.ok()) return s;
+
+  if (ChaosActive(config_.chaos)) {
+    ex->chaos_ = std::make_unique<ChaosController>(ex->cluster_.get(),
+                                                   config_.chaos);
+    if (config_.chaos.track_commits) {
+      ex->ledger_ = std::make_unique<CommitLedger>(
+          config_.cluster.total_partitions());
+    }
+  }
 
   ex->concurrency_ = config_.concurrency;
   if (ex->concurrency_ == 0) {
@@ -216,6 +265,18 @@ ExperimentResult Experiment::Run() {
 
   cluster_->Start();
   protocol_->Start();
+  if (chaos_) {
+    // Arm after protocol Start so scripted faults hit the protocol's
+    // initial placement (geo replicas included), exactly like a live hit.
+    protocol_->EnableDegradation(&config_.chaos);
+    chaos_->injector().SetGeoPlacement(protocol_->geo_placement());
+    if (ledger_) {
+      CommitLedger* ledger = ledger_.get();
+      metrics_->SetCommitListener(
+          [ledger](const Transaction& txn) { ledger->Record(txn); });
+    }
+    chaos_->Arm();
+  }
   driver_ = std::make_unique<ClosedLoopDriver>(
       sim_.get(), protocol_.get(), workload_.get(), metrics_.get(),
       concurrency_);
@@ -233,7 +294,38 @@ ExperimentResult Experiment::Run() {
   driver_->Stop();
   protocol_->Stop();
 
+  // Snapshot the measured interval first: the chaos drain below may retire
+  // further (post-measurement) work that must not shift the reported
+  // numbers.
   result_ = Collect();
+
+  if (chaos_) {
+    // Quiesce so in-flight failovers, retransmissions and deferred retries
+    // settle before the invariants are checked.
+    sim_->RunUntilIdle();
+    result_.chaos_active = true;
+    result_.aborted_unavailable = metrics_->aborted_unavailable();
+    result_.failovers = chaos_->injector().failovers_completed();
+    result_.elections_rerun = chaos_->injector().elections_rerun();
+    result_.messages_dropped = cluster_->network().messages_dropped();
+    for (size_t i = 0; i < result_.window_throughput.size(); ++i) {
+      result_.window_availability.push_back(metrics_->WindowAvailability(i));
+    }
+    for (const ChaosController::Fired& f : chaos_->fired()) {
+      result_.fault_events.push_back(ExperimentResult::FaultEvent{
+          static_cast<double>(f.at) / 1e6, f.description});
+    }
+    if (config_.chaos.check_integrity) {
+      IntegrityReport report = CheckClusterIntegrity(
+          cluster_.get(), &chaos_->injector(), ledger_.get());
+      result_.integrity_violations = report.violations.size();
+      result_.integrity_partitions_checked = report.partitions_checked;
+      result_.integrity_writes_checked = report.committed_writes_checked;
+      for (size_t i = 0; i < report.violations.size() && i < 5; ++i) {
+        result_.integrity_messages.push_back(report.violations[i]);
+      }
+    }
+  }
   return result_;
 }
 

@@ -23,6 +23,9 @@
 
 namespace lion {
 
+class ChaosController;
+class CommitLedger;
+
 /// Everything measured in one run.
 struct ExperimentResult {
   std::string protocol;
@@ -45,6 +48,30 @@ struct ExperimentResult {
   uint64_t migrations = 0;
   uint64_t migrated_bytes = 0;
   SimTime window = 0;
+
+  // --- chaos track (populated — and emitted — only when a fault schedule
+  // ran; chaos-off runs produce byte-identical JSON to a build without the
+  // subsystem) ---------------------------------------------------------------
+  bool chaos_active = false;
+  /// Transactions given up on after the bounded unavailability retries.
+  uint64_t aborted_unavailable = 0;
+  uint64_t failovers = 0;
+  uint64_t elections_rerun = 0;
+  uint64_t messages_dropped = 0;
+  /// Commit fraction per stats window (1.0 in quiet windows) — the
+  /// availability series of the chaos timeline figure.
+  std::vector<double> window_availability;
+  struct FaultEvent {
+    double t_ms = 0.0;
+    std::string description;
+  };
+  /// Every fired schedule event, stamped with its simulated time.
+  std::vector<FaultEvent> fault_events;
+  uint64_t integrity_violations = 0;
+  uint64_t integrity_partitions_checked = 0;
+  uint64_t integrity_writes_checked = 0;
+  /// First few violation messages (diagnostics; empty on a clean run).
+  std::vector<std::string> integrity_messages;
 
   /// Structured emission: one self-contained JSON object with every field
   /// above (series included), for dashboards and sweep post-processing.
@@ -84,6 +111,8 @@ class Experiment {
   MetricsCollector* metrics() { return metrics_.get(); }
   Protocol* protocol() { return protocol_.get(); }
   WorkloadGenerator* workload() { return workload_.get(); }
+  /// Non-null only when the config carries a chaos schedule.
+  ChaosController* chaos() { return chaos_.get(); }
   int concurrency() const { return concurrency_; }
 
  private:
@@ -100,6 +129,9 @@ class Experiment {
   std::unique_ptr<MetricsCollector> metrics_;
   std::unique_ptr<Protocol> protocol_;
   std::unique_ptr<WorkloadGenerator> workload_;
+  // Chaos machinery, created only for configs with a fault schedule.
+  std::unique_ptr<ChaosController> chaos_;
+  std::unique_ptr<CommitLedger> ledger_;
   // Owned (not Run-local): in-flight completion closures reference the
   // driver, and the simulator they sit in outlives Run().
   std::unique_ptr<ClosedLoopDriver> driver_;

@@ -8,6 +8,7 @@
 #include "core/lion_protocol.h"
 #include "core/predictor.h"
 #include "protocols/clay.h"
+#include "replication/chaos_config.h"
 #include "replication/cluster_config.h"
 #include "sim/sim_config.h"
 #include "workload/tpcc.h"
@@ -41,6 +42,9 @@ struct ExperimentConfig {
   /// under every setting, so this is a performance A/B knob, sweepable like
   /// any other field.
   SimConfig sim;
+  /// Scripted fault schedule + degradation knobs; inactive (and without
+  /// any effect on results) while the schedule is empty.
+  ChaosConfig chaos;
 };
 
 }  // namespace lion

@@ -22,11 +22,20 @@ void MetricsCollector::StartMeasurement(SimTime now) {
   single_node_ = 0;
   remastered_ = 0;
   distributed_ = 0;
+  aborted_unavailable_ = 0;
   latency_.Reset();
   breakdown_sum_ = PhaseBreakdown{};
 }
 
+void MetricsCollector::OnAbortUnavailable(SimTime now) {
+  size_t w = static_cast<size_t>(now / window_);
+  if (window_unavailable_.size() <= w) window_unavailable_.resize(w + 1, 0);
+  window_unavailable_[w]++;
+  if (measuring_) aborted_unavailable_++;
+}
+
 void MetricsCollector::OnCommit(const Transaction& txn, SimTime now) {
+  if (commit_listener_) commit_listener_(txn);
   size_t w = static_cast<size_t>(now / window_);
   if (window_commits_.size() <= w) window_commits_.resize(w + 1, 0);
   window_commits_[w]++;
@@ -60,6 +69,15 @@ double MetricsCollector::Throughput(SimTime now) const {
 double MetricsCollector::WindowThroughput(size_t i) const {
   if (i >= window_commits_.size()) return 0.0;
   return static_cast<double>(window_commits_[i]) / ToSeconds(window_);
+}
+
+double MetricsCollector::WindowAvailability(size_t i) const {
+  uint64_t commits = i < window_commits_.size() ? window_commits_[i] : 0;
+  uint64_t unavailable =
+      i < window_unavailable_.size() ? window_unavailable_[i] : 0;
+  if (commits + unavailable == 0) return 1.0;
+  return static_cast<double>(commits) /
+         static_cast<double>(commits + unavailable);
 }
 
 }  // namespace lion

@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/histogram.h"
@@ -24,6 +26,17 @@ class MetricsCollector {
   /// Records one abort-and-restart event.
   void OnAbort() { aborts_++; }
 
+  /// Records a transaction given up on because a touched partition stayed
+  /// unavailable past the degradation retry budget (chaos schedules).
+  void OnAbortUnavailable(SimTime now);
+
+  /// Installs a hook invoked on every commit, warmup included (the chaos
+  /// harness feeds the commit ledger through this so post-run integrity
+  /// covers the whole run). At most one listener; null clears it.
+  void SetCommitListener(std::function<void(const Transaction&)> fn) {
+    commit_listener_ = std::move(fn);
+  }
+
   /// Resets the aggregate counters and marks the measurement start, so that
   /// warmup-period commits are excluded. The time-series windows are not
   /// reset. Measurement is active from construction; calling this is only
@@ -36,6 +49,7 @@ class MetricsCollector {
   uint64_t single_node() const { return single_node_; }
   uint64_t remastered() const { return remastered_; }
   uint64_t distributed() const { return distributed_; }
+  uint64_t aborted_unavailable() const { return aborted_unavailable_; }
 
   /// Committed txns per second over the measured interval ending at `now`.
   double Throughput(SimTime now) const;
@@ -50,6 +64,11 @@ class MetricsCollector {
   /// Throughput (txn/s) of window `i`.
   double WindowThroughput(size_t i) const;
 
+  /// Fraction of window `i`'s submitted outcomes that committed:
+  /// commits / (commits + unavailable aborts), 1.0 for quiet windows. The
+  /// availability series of the chaos timeline figure.
+  double WindowAvailability(size_t i) const;
+
  private:
   SimTime window_;
   SimTime measure_start_;
@@ -60,9 +79,12 @@ class MetricsCollector {
   uint64_t single_node_;
   uint64_t remastered_;
   uint64_t distributed_;
+  uint64_t aborted_unavailable_ = 0;
   Histogram latency_;
   PhaseBreakdown breakdown_sum_;
   std::vector<uint64_t> window_commits_;
+  std::vector<uint64_t> window_unavailable_;
+  std::function<void(const Transaction&)> commit_listener_;
 };
 
 }  // namespace lion

@@ -36,7 +36,7 @@ class BatchProtocol : public Protocol {
     Flush();
   }
 
-  void Submit(TxnPtr txn, TxnDoneFn done) override {
+  void SubmitTxn(TxnPtr txn, TxnDoneFn done) override {
     OnSubmit(*txn);
     buffer_.push_back(Item{std::make_shared<TxnPtr>(std::move(txn)),
                            std::move(done)});

@@ -72,7 +72,7 @@ void ClayProtocol::Monitor() {
   }
 }
 
-void ClayProtocol::Submit(TxnPtr txn, TxnDoneFn done) {
+void ClayProtocol::SubmitTxn(TxnPtr txn, TxnDoneFn done) {
   std::vector<PartitionId> parts = txn->Partitions();
   for (PartitionId pid : parts) cluster_->router().RecordAccess(pid);
   history_.push_back(parts);

@@ -36,7 +36,7 @@ class ClayProtocol : public Protocol {
   std::string name() const override { return "Clay"; }
   void Start() override;
   void Stop() override;
-  void Submit(TxnPtr txn, TxnDoneFn done) override;
+  void SubmitTxn(TxnPtr txn, TxnDoneFn done) override;
 
   uint64_t repartitions() const { return repartitions_; }
 

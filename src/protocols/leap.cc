@@ -37,7 +37,7 @@ void LeapProtocol::MigrateNext(Transaction* txn, NodeId coord,
       });
 }
 
-void LeapProtocol::Submit(TxnPtr txn, TxnDoneFn done) {
+void LeapProtocol::SubmitTxn(TxnPtr txn, TxnDoneFn done) {
   NodeId coord = TwoPcProtocol::RouteToMostPrimaries(*txn, cluster_->router());
   for (PartitionId pid : txn->Partitions()) cluster_->router().RecordAccess(pid);
 

@@ -16,7 +16,7 @@ class LeapProtocol : public Protocol {
   LeapProtocol(Cluster* cluster, MetricsCollector* metrics);
 
   std::string name() const override { return "Leap"; }
-  void Submit(TxnPtr txn, TxnDoneFn done) override;
+  void SubmitTxn(TxnPtr txn, TxnDoneFn done) override;
 
   uint64_t migrations_requested() const { return migrations_requested_; }
 

@@ -7,11 +7,14 @@
 #include <utility>
 
 #include "metrics/metrics.h"
+#include "replication/chaos_config.h"
 #include "replication/cluster.h"
 #include "sim/periodic_timer.h"
 #include "txn/transaction.h"
 
 namespace lion {
+
+class GeoPlacement;
 
 /// Completion callback: ownership of the transaction returns to the caller.
 using TxnDoneFn = std::function<void(TxnPtr)>;
@@ -58,12 +61,79 @@ class Protocol {
 
   /// Takes ownership of `txn`, drives it to commit (retrying internally on
   /// aborts), then returns ownership via `done`.
-  virtual void Submit(TxnPtr txn, TxnDoneFn done) = 0;
+  ///
+  /// Non-virtual on purpose: this is the graceful-degradation gate. With
+  /// chaos degradation enabled (EnableDegradation), a transaction touching
+  /// an unavailable partition — down primary, or primaries split by an
+  /// active network partition — is deferred with a bounded deterministic
+  /// linear backoff instead of blocking forever behind the partition's
+  /// write block. After `chaos.max_unavailable_retries` deferrals it is
+  /// counted via MetricsCollector::OnAbortUnavailable and handed back
+  /// through `done` (freeing the closed-loop slot). Retries re-enter here,
+  /// so each one re-checks availability against the healed/failed-over
+  /// routing state. Without chaos this forwards straight to SubmitTxn.
+  void Submit(TxnPtr txn, TxnDoneFn done) {
+    if (chaos_ != nullptr && FirstUnavailablePartition(*txn) != kInvalidPartition) {
+      if (txn->unavailable_retries() >= chaos_->max_unavailable_retries) {
+        metrics_->OnAbortUnavailable(cluster_->sim()->Now());
+        done(std::move(txn));
+        return;
+      }
+      txn->BumpUnavailableRetries();
+      // Deterministic linear backoff: no RNG draw, so arming a chaos
+      // schedule cannot perturb the experiment RNG stream.
+      SimTime backoff = chaos_->unavailable_backoff *
+                        static_cast<SimTime>(txn->unavailable_retries());
+      cluster_->sim()->Schedule(
+          backoff,
+          [this, txn = std::move(txn), done = std::move(done)]() mutable {
+            Submit(std::move(txn), std::move(done));
+          });
+      return;
+    }
+    SubmitTxn(std::move(txn), std::move(done));
+  }
+
+  /// Arms graceful degradation (null disarms). `config` must outlive this
+  /// protocol; the Experiment harness passes its own ChaosConfig when a
+  /// chaos schedule is active.
+  void EnableDegradation(const ChaosConfig* config) { chaos_ = config; }
+
+  /// The protocol's geo placement constraints, if it has any (Lion's
+  /// planner does); the chaos harness forwards them to the failure
+  /// injector so elections and re-provisioning respect them.
+  virtual const GeoPlacement* geo_placement() const { return nullptr; }
 
   Cluster* cluster() { return cluster_; }
   MetricsCollector* metrics() { return metrics_; }
 
  protected:
+  /// Protocol-specific submission path; Submit (the public gate) forwards
+  /// here once the transaction's partitions are available.
+  virtual void SubmitTxn(TxnPtr txn, TxnDoneFn done) = 0;
+
+  /// First touched partition that cannot currently serve the transaction:
+  /// its primary is down, or it is separated from the other touched
+  /// primaries by an active network partition (mutual reachability is
+  /// checked against the first primary as anchor — with one cut there are
+  /// exactly two sides, so pairwise anchoring is exact).
+  /// kInvalidPartition when all are available.
+  PartitionId FirstUnavailablePartition(const Transaction& txn) const {
+    const RouterTable& table = cluster_->router();
+    NodeId anchor = kInvalidNode;
+    for (const Operation& op : txn.ops()) {
+      PartitionId pid = op.partition;
+      NodeId primary = table.PrimaryOf(pid);
+      if (primary == kInvalidNode || !table.IsNodeUp(primary)) return pid;
+      if (anchor == kInvalidNode) {
+        anchor = primary;
+      } else if (!cluster_->network().Reachable(anchor, primary)) {
+        return pid;
+      }
+    }
+    return kInvalidPartition;
+  }
+
   /// Re-submits an aborted transaction after a small randomized backoff.
   /// The scheduler accepts move-only callables, so the closure owns the
   /// transaction directly.
@@ -93,6 +163,8 @@ class Protocol {
 
  private:
   PeriodicTimer epoch_timer_;
+  /// Non-null while chaos degradation is armed (owned by the Experiment).
+  const ChaosConfig* chaos_ = nullptr;
 };
 
 }  // namespace lion

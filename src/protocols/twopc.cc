@@ -20,7 +20,7 @@ NodeId TwoPcProtocol::RouteToMostPrimaries(const Transaction& txn,
   return best;
 }
 
-void TwoPcProtocol::Submit(TxnPtr txn, TxnDoneFn done) {
+void TwoPcProtocol::SubmitTxn(TxnPtr txn, TxnDoneFn done) {
   NodeId coord = RouteToMostPrimaries(*txn, cluster_->router());
   for (PartitionId pid : txn->Partitions()) {
     cluster_->router().RecordAccess(pid);

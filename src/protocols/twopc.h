@@ -14,7 +14,7 @@ class TwoPcProtocol : public Protocol {
   TwoPcProtocol(Cluster* cluster, MetricsCollector* metrics);
 
   std::string name() const override { return "2PC"; }
-  void Submit(TxnPtr txn, TxnDoneFn done) override;
+  void SubmitTxn(TxnPtr txn, TxnDoneFn done) override;
 
   /// Picks the node hosting the most primary partitions of `txn`
   /// (ties: lowest id). Shared with other primary-affinity protocols.

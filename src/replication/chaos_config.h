@@ -1,0 +1,78 @@
+// Scripted fault schedules (chaos.*) and graceful-degradation knobs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lion {
+
+/// Configuration of the chaos subsystem (chaos.* schema fields). An empty
+/// schedule disables chaos entirely: nothing is armed, no extra result
+/// fields are emitted, and fixed-seed runs stay byte-identical to a build
+/// without the subsystem.
+struct ChaosConfig {
+  /// Timed fault events, one per entry, each "<time> <kind> [args]":
+  ///
+  ///   "500ms crash 1"          fail node 1 (failover elections start)
+  ///   "900ms recover 1"        bring node 1 back (empty)
+  ///   "1s partition 2,3"       isolate nodes 2,3 from the rest; messages
+  ///                            across the cut are parked until heal
+  ///   "1.4s heal"              reconnect and retransmit parked messages
+  ///   "1.2s lag_storm 200ms"   pause log shipping for 200ms (lag builds)
+  ///   "700ms migrate 3 2"      force MovePrimary of partition 3 to node 2
+  ///                            (schedules deterministic crash-mid-migration
+  ///                            scenarios together with a timed crash)
+  ///
+  /// Times accept ns/us/ms/s suffixes. Events fire in schedule order at
+  /// their absolute simulated times (t=0 is experiment start).
+  std::vector<std::string> schedule;
+
+  /// Bounded retries for a transaction touching an unavailable partition
+  /// (primary down or unreachable across an active network partition)
+  /// before it completes as aborted_unavailable instead of blocking.
+  int max_unavailable_retries = 8;
+  /// Base backoff between unavailable retries; attempt k waits k * base
+  /// (deterministic — no RNG draw, so chaos cannot perturb seeds).
+  SimTime unavailable_backoff = 1 * kMillisecond;
+  /// Run the post-run integrity checker after a run with faults.
+  bool check_integrity = true;
+  /// Record committed write-sets so the integrity checker can verify every
+  /// committed transaction's effects are present on the surviving replicas.
+  bool track_commits = true;
+};
+
+inline bool ChaosActive(const ChaosConfig& cfg) {
+  return !cfg.schedule.empty();
+}
+
+/// One parsed schedule entry.
+enum class ChaosEventKind {
+  kCrash,
+  kRecover,
+  kPartition,
+  kHeal,
+  kLagStorm,
+  kMigrate,
+};
+
+struct ChaosEvent {
+  SimTime at = 0;
+  ChaosEventKind kind = ChaosEventKind::kHeal;
+  NodeId node = kInvalidNode;                  // crash / recover / migrate
+  PartitionId partition = kInvalidPartition;   // migrate
+  std::vector<NodeId> island;                  // partition
+  SimTime duration = 0;                        // lag_storm
+
+  /// Parses one schedule entry ("500ms crash 1"). Grammar errors are
+  /// kInvalidArgument with the offending token; id-range checks against a
+  /// concrete cluster happen in ChaosController::Validate.
+  static Status Parse(const std::string& text, ChaosEvent* out);
+
+  /// Human-readable form for logs and the fault_events result series.
+  std::string Describe() const;
+};
+
+}  // namespace lion

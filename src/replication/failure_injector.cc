@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/geo_placement.h"
+
 namespace lion {
 
 FailureInjector::FailureInjector(Cluster* cluster)
@@ -22,48 +24,87 @@ void FailureInjector::FailNode(NodeId node) {
       group->RemoveSecondary(node);
     }
   }
+  ReprovisionGeo();
 }
 
 void FailureInjector::Failover(PartitionId pid, NodeId dead) {
   ReplicaGroup* group = cluster_->router().mutable_group(pid);
 
-  // Elect the most caught-up live secondary.
+  // Elect the most caught-up live secondary. With geo constraints attached,
+  // candidates in allowed regions win over disallowed ones regardless of
+  // lag (a hot-pinned partition stays in its region while any allowed copy
+  // survives); availability still beats placement, so with no allowed
+  // candidate the election falls back to any live secondary.
   NodeId candidate = kInvalidNode;
   Lsn best_lsn = 0;
+  bool candidate_allowed = false;
+  const bool geo = geo_ != nullptr && geo_->active();
   for (const ReplicaInfo& sec : group->secondaries()) {
     if (sec.delete_flag || down_[sec.node]) continue;
-    if (candidate == kInvalidNode || sec.applied_lsn > best_lsn) {
+    bool allowed =
+        !geo || geo_->AllowsPrimaryOn(cluster_->router(), pid, sec.node);
+    if (candidate == kInvalidNode || (allowed && !candidate_allowed) ||
+        (allowed == candidate_allowed && sec.applied_lsn > best_lsn)) {
       candidate = sec.node;
       best_lsn = sec.applied_lsn;
+      candidate_allowed = allowed;
     }
   }
   if (candidate == kInvalidNode) {
-    // No live copy: the partition is unavailable until recovery.
-    unavailable_.push_back(pid);
-    group->set_reconfig_in_progress(true);
-    cluster_->store(pid)->set_write_blocked(true);
+    MarkUnavailable(pid);
     return;
   }
 
   // Election: block the partition, sync the lag, promote, drop the dead
   // replica. Reuses the remastering cost model (Sec. III: the failover path
   // and planned remastering share the log-sync + election mechanism).
+  // BeginReconfig bumps the group's reconfiguration generation, so a
+  // migration or remaster completion already in flight for this partition
+  // finds its token stale and backs off instead of fighting the failover
+  // for the write block.
   const ClusterConfig& cfg = cluster_->config();
-  group->set_reconfig_in_progress(true);
+  const uint64_t token = group->BeginReconfig();
   cluster_->store(pid)->set_write_blocked(true);
   Lsn lag = group->primary_lsn() - best_lsn;
   SimTime delay = cfg.remaster_base_delay +
                   static_cast<SimTime>(lag) * cfg.remaster_per_entry;
-  cluster_->sim()->Schedule(delay, [this, pid, candidate, dead]() {
+  cluster_->sim()->Schedule(delay, [this, pid, candidate, dead, token]() {
     ReplicaGroup* g = cluster_->router().mutable_group(pid);
+    // A newer reconfiguration (e.g. the candidate's own node failing, which
+    // re-ran this election) owns the partition now; this completion is
+    // stale.
+    if (token != g->reconfig_generation()) return;
+    // Re-validate the winner at promotion time: the candidate may have died
+    // (or its replica been dropped) while the election was syncing the log.
+    // Promoting a dead node would violate the single-live-primary
+    // invariant, so re-run the election against the current membership.
+    if (down_[candidate] || !g->HasSecondary(candidate)) {
+      elections_rerun_++;
+      Failover(pid, dead);
+      return;
+    }
     g->Ack(candidate, g->primary_lsn());
     g->Promote(candidate);
     g->RemoveSecondary(dead);  // the old primary's copy died with the node
-    g->set_reconfig_in_progress(false);
+    g->EndReconfig(token);
     cluster_->store(pid)->set_write_blocked(false);
     failovers_completed_++;
     cluster_->remaster().ReleaseWaiters(pid);
+    ReprovisionGeo();
   });
+}
+
+void FailureInjector::MarkUnavailable(PartitionId pid) {
+  ReplicaGroup* group = cluster_->router().mutable_group(pid);
+  // No live copy: the partition is unavailable until recovery. Taking a
+  // fresh reconfiguration generation invalidates any in-flight migration /
+  // remaster completion so it cannot unblock the partition underneath us.
+  group->BeginReconfig();
+  cluster_->store(pid)->set_write_blocked(true);
+  if (std::find(unavailable_.begin(), unavailable_.end(), pid) ==
+      unavailable_.end()) {
+    unavailable_.push_back(pid);
+  }
 }
 
 void FailureInjector::RecoverNode(NodeId node) {
@@ -84,6 +125,13 @@ void FailureInjector::RecoverNode(NodeId node) {
     }
   }
   unavailable_ = std::move(still_unavailable);
+  ReprovisionGeo();
+}
+
+void FailureInjector::ReprovisionGeo() {
+  if (geo_ == nullptr || !geo_->active()) return;
+  geo_->EnsureRegionalReplicas(&cluster_->router(),
+                               cluster_->config().max_replicas);
 }
 
 }  // namespace lion

@@ -16,16 +16,29 @@
 
 namespace lion {
 
+class GeoPlacement;
+
 class FailureInjector {
  public:
   explicit FailureInjector(Cluster* cluster);
+
+  /// Attaches geo placement constraints (null detaches): elections then
+  /// prefer candidates whose node satisfies AllowsPrimaryOn — hot-pinned
+  /// partitions fail over within their region whenever an allowed copy
+  /// survives — and crash/recovery re-establishes min_replicas_per_region
+  /// on the live node set. `geo` must outlive this injector.
+  void SetGeoPlacement(const GeoPlacement* geo) { geo_ = geo; }
 
   /// Fails `node` at the current simulated time. Every partition whose
   /// primary lived there starts a failover election: the most caught-up
   /// live secondary is promoted after syncing its log lag plus the election
   /// delay; operations on the partition block meanwhile. Replicas hosted on
   /// the failed node are dropped from their groups. Partitions left with no
-  /// live secondary become unavailable until RecoverNode.
+  /// live secondary become unavailable until RecoverNode. A partition
+  /// already mid-reconfiguration (migration or remaster in flight) is taken
+  /// over cleanly: the stale completion is invalidated through the group's
+  /// reconfiguration generation and the failover owns the write block, so
+  /// nothing double-blocks and no waiter is leaked.
   void FailNode(NodeId node);
 
   /// Brings `node` back empty: it rejoins with no replicas (the planner or
@@ -38,16 +51,25 @@ class FailureInjector {
   bool IsDown(NodeId node) const { return down_[node]; }
 
   uint64_t failovers_completed() const { return failovers_completed_; }
+  /// Elections whose candidate was found dead at promotion-fire time and
+  /// had to re-run (the fire-time liveness re-validation).
+  uint64_t elections_rerun() const { return elections_rerun_; }
   uint64_t partitions_unavailable() const { return unavailable_.size(); }
   const std::vector<PartitionId>& unavailable() const { return unavailable_; }
 
  private:
   void Failover(PartitionId pid, NodeId dead);
+  void MarkUnavailable(PartitionId pid);
+  /// Re-establishes min_replicas_per_region on the live node set after a
+  /// membership change (no-op without geo constraints).
+  void ReprovisionGeo();
 
   Cluster* cluster_;
+  const GeoPlacement* geo_ = nullptr;
   std::vector<bool> down_;
   std::vector<PartitionId> unavailable_;
   uint64_t failovers_completed_ = 0;
+  uint64_t elections_rerun_ = 0;
 };
 
 }  // namespace lion

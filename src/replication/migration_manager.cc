@@ -47,6 +47,12 @@ void MigrationManager::AddReplica(PartitionId pid, NodeId target,
                                                 snapshot_lsn, done_shared]() {
     network_->Send(src, target, bytes, [this, pid, target, snapshot_lsn,
                                         done_shared]() {
+      if (!table_->IsNodeUp(target)) {
+        // The target crashed while the copy streamed: registering its
+        // replica would leave a live secondary on a down node.
+        (*done_shared)(false);
+        return;
+      }
       table_->mutable_group(pid)->AddSecondary(target, snapshot_lsn);
       migrations_completed_++;
       (*done_shared)(true);
@@ -103,20 +109,34 @@ void MigrationManager::MoveMastershipLight(PartitionId pid, NodeId target,
     done(false);
     return;
   }
-  group->set_reconfig_in_progress(true);
+  const uint64_t token = group->BeginReconfig();
   stores_[pid]->set_write_blocked(true);
   NodeId src = group->primary();
   migrated_bytes_ += accessed_bytes;
 
   auto done_shared = std::make_shared<std::function<void(bool)>>(std::move(done));
   sim_->Schedule(config_.migration_base_delay, [this, pid, src, target,
-                                                accessed_bytes, done_shared]() {
-    network_->Send(src, target, accessed_bytes, [this, pid, target,
+                                                accessed_bytes, token,
+                                                done_shared]() {
+    network_->Send(src, target, accessed_bytes, [this, pid, target, token,
                                                  done_shared]() {
       ReplicaGroup* g = table_->mutable_group(pid);
+      if (token != g->reconfig_generation()) {
+        // A failover preempted this transfer and owns the block.
+        (*done_shared)(false);
+        return;
+      }
+      if (!table_->IsNodeUp(target)) {
+        // Target died mid-transfer: abort and unblock at the old primary.
+        g->EndReconfig(token);
+        stores_[pid]->set_write_blocked(false);
+        remaster_->ReleaseWaiters(pid);
+        (*done_shared)(false);
+        return;
+      }
       g->AddSecondary(target, g->primary_lsn());
       g->Promote(target);
-      g->set_reconfig_in_progress(false);
+      g->EndReconfig(token);
       stores_[pid]->set_write_blocked(false);
       migrations_completed_++;
       EvictIfOverLimit(pid, target);
@@ -147,7 +167,7 @@ void MigrationManager::MovePrimary(PartitionId pid, NodeId target,
   }
   // Full blocking copy: the "migration" whose downtime the paper attributes
   // to Leap/Clay. Writes block for the whole transfer.
-  group->set_reconfig_in_progress(true);
+  const uint64_t token = group->BeginReconfig();
   stores_[pid]->set_write_blocked(true);
   NodeId src = group->primary();
   uint64_t bytes = stores_[pid]->SizeBytes();
@@ -155,12 +175,26 @@ void MigrationManager::MovePrimary(PartitionId pid, NodeId target,
 
   auto done_shared = std::make_shared<std::function<void(bool)>>(std::move(done));
   sim_->Schedule(config_.migration_base_delay, [this, pid, src, target, bytes,
-                                                done_shared]() {
-    network_->Send(src, target, bytes, [this, pid, target, done_shared]() {
+                                                token, done_shared]() {
+    network_->Send(src, target, bytes, [this, pid, target, token,
+                                        done_shared]() {
       ReplicaGroup* g = table_->mutable_group(pid);
+      if (token != g->reconfig_generation()) {
+        // A failover preempted this migration and owns the block.
+        (*done_shared)(false);
+        return;
+      }
+      if (!table_->IsNodeUp(target)) {
+        // Target died mid-copy: abort and unblock at the old primary.
+        g->EndReconfig(token);
+        stores_[pid]->set_write_blocked(false);
+        remaster_->ReleaseWaiters(pid);
+        (*done_shared)(false);
+        return;
+      }
       g->AddSecondary(target, g->primary_lsn());
       g->Promote(target);
-      g->set_reconfig_in_progress(false);
+      g->EndReconfig(token);
       stores_[pid]->set_write_blocked(false);
       migrations_completed_++;
       EvictIfOverLimit(pid, target);

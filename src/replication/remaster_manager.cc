@@ -46,8 +46,10 @@ void RemasterManager::Remaster(PartitionId pid, NodeId target,
   }
 
   // Block the partition: only one primary may serve at any time (split-brain
-  // avoidance, Sec. III). New operations queue via WaitUntilAvailable.
-  group->set_reconfig_in_progress(true);
+  // avoidance, Sec. III). New operations queue via WaitUntilAvailable. The
+  // generation token lets a failover preempt this remaster: its completion
+  // then backs off instead of unblocking a partition it no longer owns.
+  const uint64_t token = group->BeginReconfig();
   stores_[pid]->set_write_blocked(true);
 
   Lsn lag = group->LagOf(target);
@@ -59,10 +61,28 @@ void RemasterManager::Remaster(PartitionId pid, NodeId target,
   auto done_shared = std::make_shared<std::function<void(bool)>>(std::move(done));
   // Control message to the candidate, then log sync + election time.
   network_->Send(old_primary, target, MessageSizes::kRemasterCtl,
-                 [this, pid, target, sync_time, started, done_shared]() {
-                   sim_->Schedule(sync_time, [this, pid, target, started,
+                 [this, pid, target, sync_time, started, token, done_shared]() {
+                   sim_->Schedule(sync_time, [this, pid, target, started, token,
                                               done_shared]() {
                      ReplicaGroup* g = table_->mutable_group(pid);
+                     if (token != g->reconfig_generation()) {
+                       // A failover preempted this remaster; it owns the
+                       // partition's block now.
+                       remasters_failed_++;
+                       (*done_shared)(false);
+                       return;
+                     }
+                     if (!table_->IsNodeUp(target) ||
+                         !g->HasSecondary(target)) {
+                       // The candidate died during the sync: abort cleanly
+                       // and unblock (the old primary still serves).
+                       remasters_failed_++;
+                       g->EndReconfig(token);
+                       stores_[pid]->set_write_blocked(false);
+                       ReleaseWaiters(pid);
+                       (*done_shared)(false);
+                       return;
+                     }
                      g->Ack(target, g->primary_lsn());
                      g->Promote(target);
                      total_remaster_time_ += sim_->Now() - started;

@@ -118,6 +118,27 @@ class ReplicaGroup {
   bool reconfig_in_progress() const { return reconfig_in_progress_; }
   void set_reconfig_in_progress(bool v) { reconfig_in_progress_ = v; }
 
+  /// Starts a reconfiguration (remaster, migration, failover) and returns a
+  /// generation token. A scheduled completion must present its token to
+  /// EndReconfig; a failover that preempts an in-flight reconfiguration
+  /// calls BeginReconfig again, which bumps the generation and thereby
+  /// invalidates the superseded completion — it observes EndReconfig()
+  /// returning false and must leave the group's block alone.
+  uint64_t BeginReconfig() {
+    reconfig_in_progress_ = true;
+    return ++reconfig_generation_;
+  }
+
+  /// Ends the reconfiguration identified by `token`. Returns false (and
+  /// changes nothing) if a newer reconfiguration has taken over.
+  bool EndReconfig(uint64_t token) {
+    if (token != reconfig_generation_ || !reconfig_in_progress_) return false;
+    reconfig_in_progress_ = false;
+    return true;
+  }
+
+  uint64_t reconfig_generation() const { return reconfig_generation_; }
+
  private:
   const ReplicaInfo* FindSecondary(NodeId node) const {
     for (const auto& s : secondaries_)
@@ -134,6 +155,7 @@ class ReplicaGroup {
   NodeId primary_ = kInvalidNode;
   Lsn primary_lsn_ = 0;
   bool reconfig_in_progress_ = false;
+  uint64_t reconfig_generation_ = 0;
   std::vector<ReplicaInfo> secondaries_;
 };
 

@@ -56,8 +56,10 @@ void ReplicationManager::CloseEpochNow() {
   // from now.
   epoch_++;
   epoch_started_at_ = sim_->Now();
-  for (size_t pid = 0; pid < pending_.size(); ++pid) {
-    if (!pending_[pid].empty()) ShipPartition(static_cast<PartitionId>(pid));
+  if (shipping_paused_ == 0) {
+    for (size_t pid = 0; pid < pending_.size(); ++pid) {
+      if (!pending_[pid].empty()) ShipPartition(static_cast<PartitionId>(pid));
+    }
   }
   std::vector<std::function<void()>> waiters;
   waiters.swap(epoch_waiters_);

@@ -46,6 +46,17 @@ class ReplicationManager {
   /// batch-size limit is hit before the timer).
   void CloseEpochNow();
 
+  // --- replica-lag storms (chaos schedules) --------------------------------
+  /// Pauses log shipping: epochs keep closing (group-commit visibility is
+  /// unaffected) but pending entries stay buffered and secondaries stop
+  /// acking, so replica lag builds — and with it, failover election time.
+  /// Nests; shipping resumes at the matching ResumeShipping.
+  void PauseShipping() { shipping_paused_++; }
+  void ResumeShipping() {
+    if (shipping_paused_ > 0) shipping_paused_--;
+  }
+  bool shipping_paused() const { return shipping_paused_ > 0; }
+
   /// Per-replica materialized copies for consistency tests. Only populated
   /// when config.materialize_secondaries is set. Indexed [pid][node].
   const std::unordered_map<Key, Value>* MaterializedCopy(PartitionId pid,
@@ -71,6 +82,7 @@ class ReplicationManager {
   SimTime epoch_started_at_;
   PeriodicTimer epoch_timer_;
   uint64_t total_entries_shipped_;
+  int shipping_paused_ = 0;
   std::vector<std::vector<LogEntry>> pending_;          // per partition
   std::vector<std::function<void()>> epoch_waiters_;
   // [pid][node] -> materialized secondary copy.

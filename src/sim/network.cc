@@ -33,8 +33,35 @@ void Network::RollWindows() {
   if (window_bytes_.size() <= idx) window_bytes_.resize(idx + 1, 0);
 }
 
+void Network::StartPartition(const std::vector<NodeId>& island) {
+  partition_active_ = true;
+  island_.assign(static_cast<size_t>(topology_.num_nodes()), false);
+  for (NodeId n : island) {
+    if (n >= 0 && static_cast<size_t>(n) < island_.size()) {
+      island_[static_cast<size_t>(n)] = true;
+    }
+  }
+}
+
+void Network::HealPartition() {
+  if (!partition_active_) return;
+  partition_active_ = false;
+  // Retransmit in send order from the heal time: serialization and jitter
+  // re-apply, so delivery stays deterministic under a fixed seed.
+  std::vector<ParkedMessage> parked;
+  parked.swap(parked_);
+  for (ParkedMessage& m : parked) {
+    Send(m.from, m.to, m.bytes, std::move(m.on_delivery));
+  }
+}
+
 void Network::Send(NodeId from, NodeId to, uint64_t bytes,
                    Simulator::EventFn on_delivery) {
+  if (partition_active_ && from != to && Side(from) != Side(to)) {
+    messages_dropped_++;
+    parked_.push_back(ParkedMessage{from, to, bytes, std::move(on_delivery)});
+    return;
+  }
   SimTime delay = TransferDelay(from, to, bytes);
   if (from != to) {
     if (config_.jitter_pct > 0.0) {

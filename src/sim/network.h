@@ -80,6 +80,30 @@ class Network {
 
   const Topology& topology() const { return topology_; }
 
+  // --- network partitions (chaos schedules) --------------------------------
+  /// Cuts the network between `island` and every other node: messages
+  /// crossing the cut are dropped from the link and parked (counted in
+  /// messages_dropped) instead of delivered. Intra-island and mainland
+  /// traffic is unaffected. A second call replaces the island.
+  void StartPartition(const std::vector<NodeId>& island);
+
+  /// Heals the partition deterministically: parked messages are
+  /// retransmitted in their original send order, with delays computed from
+  /// the heal time.
+  void HealPartition();
+
+  /// False while a partition is active and `a`/`b` sit on opposite sides.
+  bool Reachable(NodeId a, NodeId b) const {
+    if (!partition_active_ || a == b) return true;
+    return Side(a) == Side(b);
+  }
+
+  bool partition_active() const { return partition_active_; }
+
+  /// Messages dropped at an active partition cut (each is retransmitted at
+  /// heal time, so this counts disruptions, not permanent losses).
+  uint64_t messages_dropped() const { return messages_dropped_; }
+
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t total_messages() const { return total_messages_; }
 
@@ -91,6 +115,18 @@ class Network {
  private:
   void RollWindows();
 
+  bool Side(NodeId n) const {
+    return n >= 0 && static_cast<size_t>(n) < island_.size() &&
+           island_[static_cast<size_t>(n)];
+  }
+
+  struct ParkedMessage {
+    NodeId from;
+    NodeId to;
+    uint64_t bytes;
+    Simulator::EventFn on_delivery;
+  };
+
   Simulator* sim_;
   NetworkConfig config_;
   Topology topology_;
@@ -100,6 +136,10 @@ class Network {
   uint64_t total_bytes_;
   uint64_t total_messages_;
   std::vector<uint64_t> window_bytes_;
+  bool partition_active_ = false;
+  std::vector<bool> island_;  // node -> side of the cut
+  std::vector<ParkedMessage> parked_;
+  uint64_t messages_dropped_ = 0;
 };
 
 /// Standard message-size model shared by all protocols so byte accounting is

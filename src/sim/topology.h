@@ -39,6 +39,9 @@ class Topology {
 
   int regions() const { return regions_; }
 
+  /// Number of nodes the topology was built for.
+  int num_nodes() const { return static_cast<int>(node_region_.size()); }
+
   /// Region of `node`. Nodes beyond the cluster size (never produced by a
   /// validated config) fall back to region 0.
   int region_of(NodeId node) const {

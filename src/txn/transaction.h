@@ -108,6 +108,13 @@ class Transaction {
 
   int restarts() const { return restarts_; }
 
+  /// Times this transaction was deferred because a touched partition was
+  /// unavailable (down primary or partitioned away). Unlike `restarts`,
+  /// this survives ResetForRestart so the degradation path's retry budget
+  /// cannot be reset by an interleaved OCC abort.
+  int unavailable_retries() const { return unavailable_retries_; }
+  void BumpUnavailableRetries() { unavailable_retries_++; }
+
   NodeId coordinator() const { return coordinator_; }
   void set_coordinator(NodeId n) { coordinator_ = n; }
 
@@ -123,6 +130,7 @@ class Transaction {
   SimTime extra_compute_ = 0;
   std::vector<Operation> ops_;
   int restarts_ = 0;
+  int unavailable_retries_ = 0;
   NodeId coordinator_ = kInvalidNode;
   ExecClass exec_class_ = ExecClass::kSingleNode;
   PhaseBreakdown breakdown_;

@@ -233,7 +233,7 @@ class NoopProtocol : public Protocol {
   NoopProtocol(Cluster* cluster, MetricsCollector* metrics)
       : Protocol(cluster, metrics) {}
   std::string name() const override { return "Noop"; }
-  void Submit(TxnPtr txn, TxnDoneFn done) override {
+  void SubmitTxn(TxnPtr txn, TxnDoneFn done) override {
     txn->set_exec_class(ExecClass::kSingleNode);
     cluster_->sim()->Schedule(
         10 * kMicrosecond,
