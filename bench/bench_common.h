@@ -86,12 +86,15 @@ struct ProtocolEntry {
 /// joins the figure automatically. Parenthesized names ("Lion(R)",
 /// "Lion(SW)", ...) are the Fig. 6 / Table II ablation variants and are
 /// excluded here — except "Lion(B)", the full batch system, which reports
-/// under the paper's plain "Lion" label in the batch figures.
+/// under the paper's plain "Lion" label in the batch figures. "meta" is
+/// also excluded: it is a composite router over other registered
+/// protocols, not a lineup member (it has its own figure, FigMeta).
 inline std::vector<ProtocolEntry> ProtocolsByMode(ExecutionMode mode) {
   std::vector<ProtocolEntry> entries;
   for (const std::string& name :
        ProtocolRegistry::Global().NamesByMode(mode)) {
     if (name.find('(') != std::string::npos) continue;
+    if (name == "meta") continue;
     entries.push_back(ProtocolEntry{name, name});
   }
   if (mode == ExecutionMode::kBatch &&

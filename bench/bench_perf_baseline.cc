@@ -248,6 +248,19 @@ ExperimentConfig Tpcc2Pc(bool fast) {
   return cfg;
 }
 
+// The meta protocol on the drifting hotspot: the adaptive-routing hot path
+// (per-txn majority vote, per-epoch decision rounds, switch handoffs) on
+// the workload it exists for. Events/sec tracks the routing overhead,
+// txn/s the adaptation win.
+ExperimentConfig MetaDrift(bool fast) {
+  ExperimentConfig cfg = bench::EvalConfig("meta");
+  cfg.workload = "ycsb-hotspot-position";
+  cfg.dynamic_period = 1 * kSecond;
+  cfg.warmup = fast ? 200 * kMillisecond : 500 * kMillisecond;
+  cfg.duration = fast ? 500 * kMillisecond : 2 * kSecond;
+  return cfg;
+}
+
 MacroResult RunMacro(const std::string& name, const ExperimentConfig& cfg) {
   MacroResult res;
   res.name = name;
@@ -484,6 +497,7 @@ int main(int argc, char** argv) {
   std::vector<MacroResult> macros;
   macros.push_back(RunMacro("ycsb_lion", YcsbLion(fast)));
   macros.push_back(RunMacro("tpcc_2pc", Tpcc2Pc(fast)));
+  macros.push_back(RunMacro("meta_drift", MetaDrift(fast)));
   for (const MacroResult& m : macros) {
     std::printf("%s: %llu events, %llu committed, %.3fs wall -> %.2f M events/s"
                 " (%.1f ktxn/s)\n",

@@ -45,6 +45,9 @@ struct PredictorConfig {
   double ewma_alpha = 0.5;
   /// Trend smoothing factor of the EWMA/Holt baseline predictor.
   double ewma_trend = 0.3;
+  /// Season length m (in sampling intervals) of the seasonal-naive baseline
+  /// predictor: ŷ(T+h) = y(T+h−m).
+  int seasonal_period = 10;
   LstmConfig lstm;  // defaults: 2 layers x 20 hidden, matching the paper
 };
 

@@ -26,6 +26,20 @@ class PredictorInterface {
   /// The workload-variation metric wv(t, h) of Eq. 6; pre-replication is
   /// warranted when it exceeds the configured γ.
   virtual double WorkloadVariation(SimTime now) = 0;
+
+  /// Per-partition forecast `horizon` sampling intervals ahead, in txns per
+  /// interval: each class's forecast rate is spread over its member
+  /// templates' partitions. `out` is sized to the highest partition seen
+  /// (smaller when tails are quiet); an empty `out` means no forecast is
+  /// available yet. Consumers beyond the planner (the meta-protocol's
+  /// per-partition flip rule) read workload shifts through this without
+  /// touching the heat graph. Default: no forecast.
+  virtual void ForecastPartitions(SimTime now, int horizon,
+                                  std::vector<double>* out) {
+    (void)now;
+    (void)horizon;
+    out->clear();
+  }
 };
 
 }  // namespace lion

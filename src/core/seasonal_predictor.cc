@@ -1,0 +1,39 @@
+#include "core/seasonal_predictor.h"
+
+#include <memory>
+
+#include "harness/registry.h"
+
+namespace lion {
+
+SeasonalPredictor::SeasonalPredictor(PredictorConfig config, uint64_t seed)
+    : TemplateClassPredictor(std::move(config), seed) {}
+
+double SeasonalPredictor::ForecastClass(const WorkloadClass& cls,
+                                        int horizon) const {
+  const std::vector<double>& s = cls.series;
+  if (s.empty()) return 0.0;
+  const int m = config_.seasonal_period;
+  if (m < 1 || s.size() < static_cast<size_t>(m)) {
+    // Not a full season observed yet: fall back to the last value (the
+    // plain naive forecast).
+    return s.back();
+  }
+  // ŷ(T+h) = y(T+h−m), with h wrapped into one season (forecasting past a
+  // full season repeats it: h and h+m share a prediction).
+  int h = horizon < 1 ? 1 : (horizon - 1) % m + 1;
+  // With T = s.size()-1 the source index T+h−m lies in the last season.
+  return s[s.size() - 1 + static_cast<size_t>(h) - static_cast<size_t>(m)];
+}
+
+namespace {
+
+const PredictorRegistrar kRegisterSeasonal(
+    "seasonal",
+    [](const PredictorContext& ctx) -> std::unique_ptr<PredictorInterface> {
+      return std::make_unique<SeasonalPredictor>(ctx.config, ctx.seed);
+    });
+
+}  // namespace
+
+}  // namespace lion

@@ -1,0 +1,31 @@
+// Seasonal-naive baseline workload predictor.
+//
+// Same three-phase pipeline as the LSTM and EWMA predictors (template
+// tracking, cosine-β classing, forecast + wv(t, h) trigger — all inherited
+// from TemplateClassPredictor), but the per-class forecast is the textbook
+// seasonal-naive rule: ŷ(T+h) = y(T+h−m) with season length m =
+// `predictor.seasonal_period` sampling intervals. Zero parameters, zero
+// training, and the strongest simple baseline for workloads with periodic
+// drift (the dynamic hotspot scenarios repeat with `dynamic_period`):
+// against it, the LSTM's gains must come from modeling, not momentum.
+// Registered in PredictorRegistry as "seasonal".
+#pragma once
+
+#include <cstdint>
+
+#include "core/predictor_config.h"
+#include "core/template_predictor.h"
+
+namespace lion {
+
+class SeasonalPredictor : public TemplateClassPredictor {
+ public:
+  SeasonalPredictor(PredictorConfig config, uint64_t seed = 7);
+
+ protected:
+  /// Seasonal-naive has no parameters to fit.
+  void FitModels() override {}
+  double ForecastClass(const WorkloadClass& cls, int horizon) const override;
+};
+
+}  // namespace lion

@@ -145,6 +145,35 @@ double TemplateClassPredictor::WorkloadVariation(SimTime now) {
   return VariationOverForecasts(nullptr);
 }
 
+void TemplateClassPredictor::ForecastPartitions(SimTime now, int horizon,
+                                                std::vector<double>* out) {
+  MaybeCloseIntervals(now);
+  out->clear();
+  if (templates_.empty()) return;
+  // Series only move when a sampling interval closes, so refit at most once
+  // per closed interval: a consumer polling every epoch (10 ms) against a
+  // 100 ms sampling interval reuses the fitted models nine ticks out of ten.
+  if (fitted_at_intervals_ != intervals_closed_) {
+    Reclassify();
+    FitModels();
+    fitted_at_intervals_ = intervals_closed_;
+  }
+  if (classes_.empty()) return;
+  for (const WorkloadClass& cls : classes_) {
+    double rate = ForecastClass(cls, horizon);
+    if (rate <= 0.0 || cls.members.empty()) continue;
+    // The class series is the mean over member templates, so the forecast
+    // is each member's expected rate; a member loads every partition it
+    // touches (a cross-partition transaction costs work on each leg).
+    for (size_t ti : cls.members) {
+      for (PartitionId p : templates_[ti].parts) {
+        if (out->size() <= static_cast<size_t>(p)) out->resize(p + 1, 0.0);
+        (*out)[p] += rate;
+      }
+    }
+  }
+}
+
 void TemplateClassPredictor::AugmentGraph(HeatGraph* graph, SimTime now) {
   MaybeCloseIntervals(now);
   if (templates_.empty() || config_.wp <= 0.0) return;

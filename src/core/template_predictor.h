@@ -32,6 +32,8 @@ class TemplateClassPredictor : public PredictorInterface {
   void OnTxn(const std::vector<PartitionId>& parts, SimTime now) override;
   void AugmentGraph(HeatGraph* graph, SimTime now) override;
   double WorkloadVariation(SimTime now) override;
+  void ForecastPartitions(SimTime now, int horizon,
+                          std::vector<double>* out) override;
 
   // --- introspection (tests, examples) --------------------------------------
   size_t num_templates() const { return templates_.size(); }
@@ -104,6 +106,12 @@ class TemplateClassPredictor : public PredictorInterface {
   Rng rng_;
   SimTime interval_start_ = 0;
   uint64_t intervals_closed_ = 0;
+  /// intervals_closed_ value at the last Reclassify+FitModels run by
+  /// ForecastPartitions. Series only change when an interval closes, so a
+  /// caller polling faster than the sampling interval (the meta-protocol's
+  /// epoch loop) reuses the fitted models instead of retraining each tick.
+  /// ~0 = never fitted.
+  uint64_t fitted_at_intervals_ = ~uint64_t{0};
   uint64_t triggers_ = 0;
   std::map<std::vector<PartitionId>, size_t> template_index_;
   std::vector<Template> templates_;

@@ -404,6 +404,9 @@ const ConfigSchema& PredictorConfigSchema() {
     b.Field("ewma_trend", &PredictorConfig::ewma_trend,
             "trend smoothing factor of the ewma (Holt) predictor",
             check::UnitInterval());
+    b.Field("seasonal_period", &PredictorConfig::seasonal_period,
+            "season length m (sampling intervals) of the seasonal-naive "
+            "predictor", check::AtLeast<int>(1));
     b.Nested("lstm", &PredictorConfig::lstm, LstmConfigSchema(),
              "per-class LSTM architecture and optimizer");
     return std::move(b).Build();
@@ -599,6 +602,42 @@ const ConfigSchema& ChaosConfigSchema() {
   return schema;
 }
 
+const ConfigSchema& MetaConfigSchema() {
+  static const ConfigSchema schema = [] {
+    ConfigSchemaBuilder<MetaConfig> b("MetaConfig");
+    b.Field("baseline", &MetaConfig::baseline,
+            "child protocol every partition starts on (ProtocolRegistry "
+            "name; not \"meta\")", check::NotEmpty());
+    b.Field("single_master", &MetaConfig::single_master,
+            "child a write-hot, cross-heavy partition flips to "
+            "(single-master batching)", check::NotEmpty());
+    b.Field("wan", &MetaConfig::wan,
+            "optional WAN candidate for cross-heavy partitions in "
+            "multi-region topologies; empty disables the lane");
+    b.Field("hot_threshold", &MetaConfig::hot_threshold,
+            "normalized forecast load at or above which a partition is "
+            "write-hot", check::UnitInterval());
+    b.Field("cross_threshold", &MetaConfig::cross_threshold,
+            "smoothed cross-partition ratio at or above which a partition "
+            "is cross-heavy", check::UnitInterval());
+    b.Field("hysteresis_epochs", &MetaConfig::hysteresis_epochs,
+            "consecutive epochs the flip rule must prefer the same target "
+            "before a switch starts", check::AtLeast<int>(1));
+    b.Field("cooldown_epochs", &MetaConfig::cooldown_epochs,
+            "minimum epochs between flips of the same partition",
+            check::NonNegative<int>());
+    b.Field("cost_gate", &MetaConfig::cost_gate,
+            "flip fires only when smoothed cross load reaches cost_gate x "
+            "the cost-model flip price (WAN-multiplied across regions); 0 "
+            "disables", check::NonNegative<double>());
+    b.Field("smoothing", &MetaConfig::smoothing,
+            "EWMA factor for the observed per-partition load and "
+            "cross-ratio windows", check::UnitInterval());
+    return std::move(b).Build();
+  }();
+  return schema;
+}
+
 const ConfigSchema& ExperimentConfigSchema() {
   static const ConfigSchema schema = [] {
     ConfigSchemaBuilder<ExperimentConfig> b("ExperimentConfig");
@@ -638,6 +677,9 @@ const ConfigSchema& ExperimentConfigSchema() {
     b.Nested("chaos", &ExperimentConfig::chaos, ChaosConfigSchema(),
              "scripted fault schedule, graceful degradation and post-run "
              "integrity checking (inactive while the schedule is empty)");
+    b.Nested("meta", &ExperimentConfig::meta, MetaConfigSchema(),
+             "runtime meta-protocol candidates, flip thresholds, hysteresis "
+             "and cost gate (active when protocol = \"meta\")");
     return std::move(b).Build();
   }();
   return schema;

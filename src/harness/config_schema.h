@@ -50,6 +50,7 @@ struct LstmConfig;
 struct ClayConfig;
 struct SimConfig;
 struct ChaosConfig;
+struct MetaConfig;
 
 /// Joins a dotted path prefix with a field name ("" + "ycsb" -> "ycsb",
 /// "ycsb" + "cross_ratio" -> "ycsb.cross_ratio").
@@ -543,6 +544,7 @@ const ConfigSchema& LionOptionsSchema();
 const ConfigSchema& ClayConfigSchema();
 const ConfigSchema& SimConfigSchema();
 const ConfigSchema& ChaosConfigSchema();
+const ConfigSchema& MetaConfigSchema();
 const ConfigSchema& ExperimentConfigSchema();
 
 // --- derived flag surface ----------------------------------------------------

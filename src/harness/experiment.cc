@@ -7,6 +7,7 @@
 #include "core/geo_placement.h"
 #include "harness/config_schema.h"
 #include "harness/driver.h"
+#include "protocols/meta_protocol.h"
 #include "replication/chaos.h"
 #include "replication/integrity.h"
 #include "sim/topology.h"
@@ -134,6 +135,35 @@ std::string ExperimentResult::ToJson() const {
     }
     json += "]}";
   }
+  if (meta_active) {
+    // Meta-only fields live behind this gate so non-meta runs emit
+    // byte-identical JSON to a build without the subsystem.
+    json += ",\"meta\":{\"children\":[";
+    for (size_t i = 0; i < meta_children.size(); ++i) {
+      if (i > 0) json += ",";
+      json += "\"" + meta_children[i] + "\"";
+    }
+    json += "],\"final_assignment\":[";
+    for (size_t i = 0; i < meta_assignment.size(); ++i) {
+      if (i > 0) json += ",";
+      json += std::to_string(meta_assignment[i]);
+    }
+    json += "],\"switches\":" + std::to_string(protocol_switches.size());
+    json += "},\"protocol_switches\":[";
+    for (size_t i = 0; i < protocol_switches.size(); ++i) {
+      if (i > 0) json += ",";
+      json += "{";
+      bool sfirst = true;
+      AppendJsonField(&json, "t_ms", protocol_switches[i].t_ms, &sfirst);
+      AppendJsonField(&json, "partition",
+                      static_cast<uint64_t>(protocol_switches[i].partition),
+                      &sfirst);
+      AppendJsonField(&json, "from", protocol_switches[i].from, &sfirst);
+      AppendJsonField(&json, "to", protocol_switches[i].to, &sfirst);
+      json += "}";
+    }
+    json += "]";
+  }
   json += "}";
   return json;
 }
@@ -168,7 +198,31 @@ Status ExperimentBuilder::Validate() const {
   if (!geo_valid.ok()) return geo_valid;
   // Chaos schedules reference concrete node/partition ids — cross-field
   // like the topology checks above.
-  return ChaosController::Validate(config_.chaos, config_.cluster);
+  Status chaos_valid = ChaosController::Validate(config_.chaos, config_.cluster);
+  if (!chaos_valid.ok()) return chaos_valid;
+  // The meta protocol's children resolve through the registry at factory
+  // time; reject unknown names (and self-nesting) here so the failure
+  // carries the offending field instead of a generic factory error.
+  if (config_.protocol == "meta") {
+    const std::pair<const char*, const std::string*> children[] = {
+        {"meta.baseline", &config_.meta.baseline},
+        {"meta.single_master", &config_.meta.single_master},
+        {"meta.wan", &config_.meta.wan},
+    };
+    for (const auto& [field, name] : children) {
+      if (name->empty()) continue;  // meta.wan is optional
+      if (*name == "meta") {
+        return Status::InvalidArgument(std::string(field) +
+                                       ": meta cannot nest itself");
+      }
+      Status child_exists = ProtocolRegistry::Global().CheckExists(*name);
+      if (!child_exists.ok()) {
+        return Status::InvalidArgument(std::string(field) + ": " +
+                                       child_exists.message());
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Status ExperimentBuilder::Build(std::unique_ptr<Experiment>* out) const {
@@ -324,6 +378,21 @@ ExperimentResult Experiment::Run() {
       for (size_t i = 0; i < report.violations.size() && i < 5; ++i) {
         result_.integrity_messages.push_back(report.violations[i]);
       }
+    }
+  }
+  if (auto* meta = dynamic_cast<MetaProtocol*>(protocol_.get())) {
+    // After the chaos drain (when one ran) so flips completing during the
+    // quiesce land in the timeline too.
+    result_.meta_active = true;
+    for (size_t i = 0; i < meta->num_children(); ++i) {
+      result_.meta_children.push_back(meta->child_name(i));
+    }
+    result_.meta_assignment = meta->AssignmentCounts();
+    for (const MetricsCollector::ProtocolSwitch& s :
+         metrics_->protocol_switches()) {
+      result_.protocol_switches.push_back(ExperimentResult::ProtocolSwitchEvent{
+          static_cast<double>(s.at) / 1e6, static_cast<int>(s.partition),
+          s.from, s.to});
     }
   }
   return result_;

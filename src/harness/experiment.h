@@ -73,6 +73,24 @@ struct ExperimentResult {
   /// First few violation messages (diagnostics; empty on a clean run).
   std::vector<std::string> integrity_messages;
 
+  // --- meta-protocol track (populated — and emitted — only when the run's
+  // protocol was "meta"; other runs produce byte-identical JSON to a build
+  // without the subsystem) ----------------------------------------------------
+  bool meta_active = false;
+  /// Child protocol names, assignment-index order (baseline first).
+  std::vector<std::string> meta_children;
+  /// Partitions per child under the final assignment, same order.
+  std::vector<uint64_t> meta_assignment;
+  struct ProtocolSwitchEvent {
+    double t_ms = 0.0;
+    int partition = 0;
+    std::string from;
+    std::string to;
+  };
+  /// Every completed per-partition flip, stamped with its simulated time
+  /// (warmup and post-run drain included).
+  std::vector<ProtocolSwitchEvent> protocol_switches;
+
   /// Structured emission: one self-contained JSON object with every field
   /// above (series included), for dashboards and sweep post-processing.
   std::string ToJson() const;

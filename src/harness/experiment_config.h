@@ -8,6 +8,7 @@
 #include "core/lion_protocol.h"
 #include "core/predictor.h"
 #include "protocols/clay.h"
+#include "protocols/meta_config.h"
 #include "replication/chaos_config.h"
 #include "replication/cluster_config.h"
 #include "sim/sim_config.h"
@@ -45,6 +46,10 @@ struct ExperimentConfig {
   /// Scripted fault schedule + degradation knobs; inactive (and without
   /// any effect on results) while the schedule is empty.
   ChaosConfig chaos;
+  /// Runtime meta-protocol (protocol = "meta"): child candidates, flip
+  /// thresholds, hysteresis and cost gating. Ignored by every other
+  /// protocol.
+  MetaConfig meta;
 };
 
 }  // namespace lion

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -29,6 +30,28 @@ class MetricsCollector {
   /// Records a transaction given up on because a touched partition stayed
   /// unavailable past the degradation retry budget (chaos schedules).
   void OnAbortUnavailable(SimTime now);
+
+  /// One completed meta-protocol flip: `partition` moved from child `from`
+  /// to child `to` at simulated time `at`.
+  struct ProtocolSwitch {
+    SimTime at = 0;
+    PartitionId partition = 0;
+    std::string from;
+    std::string to;
+  };
+
+  /// Records a completed per-partition protocol flip (meta protocol).
+  /// Warmup included: the timeline is a series, like window_commits.
+  void OnProtocolSwitch(SimTime at, PartitionId partition, std::string from,
+                        std::string to) {
+    protocol_switches_.push_back(
+        ProtocolSwitch{at, partition, std::move(from), std::move(to)});
+  }
+
+  /// Every recorded flip, in completion order.
+  const std::vector<ProtocolSwitch>& protocol_switches() const {
+    return protocol_switches_;
+  }
 
   /// Installs a hook invoked on every commit, warmup included (the chaos
   /// harness feeds the commit ledger through this so post-run integrity
@@ -84,6 +107,7 @@ class MetricsCollector {
   PhaseBreakdown breakdown_sum_;
   std::vector<uint64_t> window_commits_;
   std::vector<uint64_t> window_unavailable_;
+  std::vector<ProtocolSwitch> protocol_switches_;
   std::function<void(const Transaction&)> commit_listener_;
 };
 

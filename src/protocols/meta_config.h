@@ -1,0 +1,43 @@
+// Configuration of the runtime meta-protocol (meta.* schema group): the
+// candidate child protocols, the flip thresholds the per-epoch decision rule
+// applies to forecast load and observed cross-partition ratios, and the
+// hysteresis / cost gating that keeps assignments from thrashing.
+//
+// Standalone (strings only) so harness/experiment_config.h can embed it
+// without pulling protocol headers into every config consumer.
+#pragma once
+
+#include <string>
+
+namespace lion {
+
+struct MetaConfig {
+  /// Child protocol every partition starts on (and cold partitions stay
+  /// on). Resolved through ProtocolRegistry; must not be "meta".
+  std::string baseline = "2PC";
+  /// Child a partition predicted write-hot AND cross-heavy flips to — a
+  /// STAR-style single-master batch mode by default.
+  std::string single_master = "Star";
+  /// Optional WAN candidate for cross-heavy but not write-hot partitions in
+  /// multi-region topologies (e.g. "geo_occ"). Empty disables the lane.
+  std::string wan;
+  /// Normalized forecast load (per-partition forecast / hottest partition)
+  /// at or above which a partition counts as write-hot.
+  double hot_threshold = 0.5;
+  /// Smoothed cross-partition ratio at or above which a partition counts as
+  /// cross-heavy.
+  double cross_threshold = 0.3;
+  /// Consecutive epochs the decision rule must prefer the same non-current
+  /// child before a flip is attempted.
+  int hysteresis_epochs = 3;
+  /// Minimum epochs between flips of the same partition.
+  int cooldown_epochs = 10;
+  /// Cost gate: a flip fires only when the partition's smoothed
+  /// cross-partition load (txns/epoch) reaches cost_gate x the flip's
+  /// placement cost (wm, WAN-multiplied across regions). 0 disables gating.
+  double cost_gate = 0.05;
+  /// EWMA factor for the observed per-partition load / cross-ratio windows.
+  double smoothing = 0.3;
+};
+
+}  // namespace lion

@@ -96,8 +96,10 @@ class Protocol {
 
   /// Arms graceful degradation (null disarms). `config` must outlive this
   /// protocol; the Experiment harness passes its own ChaosConfig when a
-  /// chaos schedule is active.
-  void EnableDegradation(const ChaosConfig* config) { chaos_ = config; }
+  /// chaos schedule is active. Virtual so composite protocols (meta) can
+  /// forward the gate to the children they own; overrides must call the
+  /// base implementation.
+  virtual void EnableDegradation(const ChaosConfig* config) { chaos_ = config; }
 
   /// The protocol's geo placement constraints, if it has any (Lion's
   /// planner does); the chaos harness forwards them to the failure

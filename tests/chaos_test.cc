@@ -7,6 +7,7 @@
 
 #include "harness/experiment.h"
 #include "metrics/metrics.h"
+#include "protocols/meta_protocol.h"
 #include "protocols/twopc.h"
 #include "replication/chaos.h"
 #include "replication/cluster.h"
@@ -306,6 +307,40 @@ TEST(ChaosExperimentTest, ChaosOffEmitsNoChaosFields) {
   EXPECT_EQ(json.find("fault_events"), std::string::npos);
   EXPECT_EQ(json.find("integrity"), std::string::npos);
   EXPECT_EQ(json.find("window_availability"), std::string::npos);
+}
+
+// A node crash landing mid-epoch — while the meta protocol is mid-decision
+// and possibly mid-handoff — must never strand a partition: the run stays
+// write-consistent (zero integrity violations), every started switch
+// completes or is drained by Stop, and no transaction stays parked.
+TEST(ChaosExperimentTest, MetaSwitchUnderCrashNeverStrandsAPartition) {
+  ExperimentBuilder builder;
+  builder.Protocol("meta").Workload("ycsb-hotspot-position");
+  builder.config().cluster = Cfg();
+  builder.config().cluster.workers_per_node = 4;
+  builder.DynamicPeriod(200 * kMillisecond);
+  builder.Warmup(100 * kMillisecond).Duration(600 * kMillisecond).Seed(7);
+  // 205 ms sits 5 ms past an epoch boundary (10 ms epochs), so the crash
+  // interleaves with in-flight switch handoffs rather than aligning with
+  // the decision tick.
+  builder.config().chaos.schedule = {"205ms crash 1", "500ms recover 1"};
+
+  std::unique_ptr<Experiment> exp;
+  ASSERT_TRUE(builder.Build(&exp).ok());
+  ExperimentResult res = exp->Run();
+
+  EXPECT_TRUE(res.chaos_active);
+  EXPECT_TRUE(res.meta_active);
+  EXPECT_GT(res.committed, 0u);
+  EXPECT_GE(res.protocol_switches.size(), 1u);
+  EXPECT_EQ(res.integrity_violations, 0u)
+      << (res.integrity_messages.empty() ? "" : res.integrity_messages[0]);
+  EXPECT_GT(res.integrity_writes_checked, 0u);
+
+  auto* meta = dynamic_cast<MetaProtocol*>(exp->protocol());
+  ASSERT_NE(meta, nullptr);
+  EXPECT_FALSE(meta->SwitchInProgress());
+  EXPECT_EQ(meta->parked(), 0u);
 }
 
 }  // namespace
