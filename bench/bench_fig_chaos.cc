@@ -10,6 +10,14 @@
 // The merged JSON additionally carries the "fault_schedule" block — the
 // exact schedule entries every point ran — so a plot script needs no
 // knowledge of this file.
+//
+// A second panel (FigChaosRecovery) studies durable log-backed recovery:
+// a dirty crash whose unsynced suffix is lost, a log replay + catch-up
+// rejoin, then a second crash that only the recovered node's replicas can
+// absorb. Points sweep recovery.durability_lag_us against a rejoin-empty
+// baseline (recovery off); the "recovery_panel" JSON block reports each
+// point's recovery time and its availability after the second crash —
+// replay keeps the cluster serving, rejoining empty does not.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -65,20 +73,120 @@ void PrintTimeline(const SweepOutcome& o) {
               static_cast<unsigned long long>(o.result.aborted_unavailable));
 }
 
+// --- recovery panel ----------------------------------------------------------
+
+// Durability lags swept by the recovery panel; -1 is the rejoin-empty
+// baseline (recovery disabled).
+const SimTime kDurabilityLags[] = {-1, 0, 1 * kMillisecond, 20 * kMillisecond};
+
+std::string RecoveryPointName(SimTime lag) {
+  if (lag < 0) return "FigChaosRecovery/rejoin_empty";
+  return "FigChaosRecovery/lag_" + std::to_string(lag / kMicrosecond) + "us";
+}
+
+// Dirty crash at 25%, replay + catch-up rejoin at 50%, then a second crash
+// at 75% that removes the last pre-crash copy of the failed-over
+// partitions: only the recovered node's replayed replicas can absorb it.
+std::vector<std::string> RecoverySchedule(const ExperimentConfig& cfg) {
+  const SimTime w = cfg.warmup;
+  const SimTime d = cfg.duration;
+  return {
+      Ms(w + d / 4) + " crash_dirty 1",
+      Ms(w + d / 2) + " recover 1",
+      Ms(w + d * 3 / 4) + " crash 2",
+  };
+}
+
+ExperimentConfig RecoveryConfigFor(SimTime lag) {
+  ExperimentConfig cfg = bench::EvalConfig("2PC");
+  cfg.workload = "ycsb";
+  cfg.ycsb.cross_ratio = 0.2;
+  cfg.chaos.schedule = RecoverySchedule(cfg);
+  if (lag >= 0) {
+    cfg.recovery.enabled = true;
+    cfg.recovery.durability_lag = lag;
+    cfg.recovery.snapshot_interval = 500 * kMillisecond;
+  }
+  return cfg;
+}
+
+void PrintRecoveryPoint(const SweepOutcome& o) {
+  std::printf("%s availability", o.name.c_str());
+  for (double v : o.result.window_availability) std::printf(" %.4f", v);
+  std::printf("\n%s recoveries", o.name.c_str());
+  for (const ExperimentResult::RecoveryEvent& ev : o.result.recovery_events) {
+    std::printf(" [node %d: %.1fms over %d partitions]", ev.node,
+                ev.duration_ms, ev.partitions);
+  }
+  std::printf("\n%s integrity violations=%llu stale_elections=%llu "
+              "log_lost=%llu\n",
+              o.name.c_str(),
+              static_cast<unsigned long long>(o.result.integrity_violations),
+              static_cast<unsigned long long>(o.result.stale_elections),
+              static_cast<unsigned long long>(o.result.log_entries_lost));
+}
+
+// Mean availability over the windows after the second crash — the stretch
+// where only the recovered node's replayed replicas can keep the failed-over
+// partitions serving.
+double PostCrashAvailability(const ExperimentResult& res) {
+  const ExperimentConfig base = RecoveryConfigFor(-1);
+  SimTime second_crash = base.warmup + base.duration * 3 / 4;
+  size_t from = res.window > 0
+                    ? static_cast<size_t>(second_crash / res.window) + 1
+                    : 0;
+  double sum = 0.0;
+  size_t n = 0;
+  for (size_t i = from; i < res.window_availability.size(); ++i) {
+    sum += res.window_availability[i];
+    n++;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
 std::vector<bench::PointSpec> BuildSweep() {
   std::vector<bench::PointSpec> specs;
   for (const char* proto : kProtocols) {
     specs.push_back(bench::PointSpec{std::string("FigChaos/") + proto,
                                      ChaosConfigFor(proto), PrintTimeline});
   }
+  for (SimTime lag : kDurabilityLags) {
+    specs.push_back(bench::PointSpec{RecoveryPointName(lag),
+                                     RecoveryConfigFor(lag),
+                                     PrintRecoveryPoint});
+  }
   return specs;
 }
 
-std::string ScheduleJson(const std::vector<SweepOutcome>&) {
+std::string ScheduleJson(const std::vector<SweepOutcome>& outcomes) {
   std::string out = "\"fault_schedule\":[";
   bool first = true;
   for (const std::string& entry : ChaosSchedule(ChaosConfigFor("Lion"))) {
     out += (first ? "\"" : ",\"") + entry + "\"";
+    first = false;
+  }
+  out += "],\"recovery_panel\":[";
+  first = true;
+  for (const SweepOutcome& o : outcomes) {
+    if (o.name.find("FigChaosRecovery/") != 0 || !o.status.ok()) continue;
+    SimTime lag = -1;
+    for (SimTime l : kDurabilityLags) {
+      if (RecoveryPointName(l) == o.name) lag = l;
+    }
+    double recovery_ms = 0.0;
+    for (const ExperimentResult::RecoveryEvent& ev : o.result.recovery_events) {
+      recovery_ms += ev.duration_ms;
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"durability_lag_us\":%lld,"
+                  "\"recovery_ms\":%.3f,\"post_crash_availability\":%.4f,"
+                  "\"log_entries_lost\":%llu}",
+                  first ? "" : ",", o.name.c_str(),
+                  static_cast<long long>(lag < 0 ? -1 : lag / kMicrosecond),
+                  recovery_ms, PostCrashAvailability(o.result),
+                  static_cast<unsigned long long>(o.result.log_entries_lost));
+    out += buf;
     first = false;
   }
   out += "]";

@@ -248,6 +248,30 @@ ExperimentConfig Tpcc2Pc(bool fast) {
   return cfg;
 }
 
+// Chaos + durable recovery hot path: 2PC under a dirty crash, log replay +
+// catch-up rejoin, and a second crash, with the recovery log recording every
+// commit. Events/sec tracks the log-append and catch-up overhead on top of
+// the chaos machinery; committed tracks how much work survives the schedule.
+ExperimentConfig ChaosRecovery(bool fast) {
+  ExperimentConfig cfg = bench::EvalConfig("2PC");
+  cfg.workload = "ycsb";
+  cfg.ycsb.cross_ratio = 0.2;
+  cfg.warmup = fast ? 200 * kMillisecond : 500 * kMillisecond;
+  cfg.duration = fast ? 500 * kMillisecond : 2 * kSecond;
+  const SimTime w = cfg.warmup;
+  const SimTime d = cfg.duration;
+  auto ms = [](SimTime t) { return std::to_string(t / kMillisecond) + "ms"; };
+  cfg.chaos.schedule = {
+      ms(w + d / 4) + " crash_dirty 1",
+      ms(w + d / 2) + " recover 1",
+      ms(w + d * 3 / 4) + " crash 2",
+  };
+  cfg.recovery.enabled = true;
+  cfg.recovery.durability_lag = 1 * kMillisecond;
+  cfg.recovery.snapshot_interval = 500 * kMillisecond;
+  return cfg;
+}
+
 // The meta protocol on the drifting hotspot: the adaptive-routing hot path
 // (per-txn majority vote, per-epoch decision rounds, switch handoffs) on
 // the workload it exists for. Events/sec tracks the routing overhead,
@@ -498,6 +522,7 @@ int main(int argc, char** argv) {
   macros.push_back(RunMacro("ycsb_lion", YcsbLion(fast)));
   macros.push_back(RunMacro("tpcc_2pc", Tpcc2Pc(fast)));
   macros.push_back(RunMacro("meta_drift", MetaDrift(fast)));
+  macros.push_back(RunMacro("chaos_recovery", ChaosRecovery(fast)));
   for (const MacroResult& m : macros) {
     std::printf("%s: %llu events, %llu committed, %.3fs wall -> %.2f M events/s"
                 " (%.1f ktxn/s)\n",

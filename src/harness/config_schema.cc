@@ -577,7 +577,9 @@ const ConfigSchema& ChaosConfigSchema() {
     b.Field("schedule", &ChaosConfig::schedule,
             "scripted fault events, one per line: \"<time> <kind> [args]\" "
             "with time unit-suffixed (ns/us/ms/s) and kind one of crash N, "
-            "recover N, partition N1,N2,..., heal, lag_storm DURATION, "
+            "crash_dirty N (discards the unsynced recovery-log suffix), "
+            "recover N, truncate N (forces a recovery-log snapshot), "
+            "partition N1,N2,..., heal, lag_storm DURATION, "
             "migrate PID NODE; empty disables chaos entirely",
             [](const std::string& line) -> std::string {
               ChaosEvent ev;
@@ -597,6 +599,30 @@ const ConfigSchema& ChaosConfigSchema() {
     b.Field("track_commits", &ChaosConfig::track_commits,
             "record committed writes in a ledger so the integrity checker "
             "can verify their effects are present");
+    return std::move(b).Build();
+  }();
+  return schema;
+}
+
+const ConfigSchema& RecoveryConfigSchema() {
+  static const ConfigSchema schema = [] {
+    ConfigSchemaBuilder<RecoveryConfig> b("RecoveryConfig");
+    b.Field("enabled", &RecoveryConfig::enabled,
+            "attach the per-node durable replication log; crashed nodes then "
+            "recover by replaying their durable prefix and catching up from "
+            "live primaries instead of rejoining empty");
+    b.Time("durability_lag_us", &RecoveryConfig::durability_lag, kMicrosecond,
+           "fsync horizon: a dirty crash (crash_dirty schedule events) loses "
+           "log entries younger than this; 0 means every entry is durable "
+           "the instant it commits", check::NonNegative<SimTime>());
+    b.Time("snapshot_interval_ms", &RecoveryConfig::snapshot_interval,
+           kMillisecond,
+           "period of the snapshot+truncate pass bounding replay work and "
+           "log memory; 0 disables periodic snapshots",
+           check::NonNegative<SimTime>());
+    b.Field("catch_up_batch", &RecoveryConfig::catch_up_batch,
+            "log entries per catch-up shipment from a live primary to a "
+            "recovering replica", check::AtLeast<int>(1));
     return std::move(b).Build();
   }();
   return schema;
@@ -677,6 +703,9 @@ const ConfigSchema& ExperimentConfigSchema() {
     b.Nested("chaos", &ExperimentConfig::chaos, ChaosConfigSchema(),
              "scripted fault schedule, graceful degradation and post-run "
              "integrity checking (inactive while the schedule is empty)");
+    b.Nested("recovery", &ExperimentConfig::recovery, RecoveryConfigSchema(),
+             "durable log-backed recovery: crash replay + catch-up rejoin "
+             "(inactive while enabled is false)");
     b.Nested("meta", &ExperimentConfig::meta, MetaConfigSchema(),
              "runtime meta-protocol candidates, flip thresholds, hysteresis "
              "and cost gate (active when protocol = \"meta\")");

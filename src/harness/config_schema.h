@@ -544,6 +544,7 @@ const ConfigSchema& LionOptionsSchema();
 const ConfigSchema& ClayConfigSchema();
 const ConfigSchema& SimConfigSchema();
 const ConfigSchema& ChaosConfigSchema();
+const ConfigSchema& RecoveryConfigSchema();
 const ConfigSchema& MetaConfigSchema();
 const ConfigSchema& ExperimentConfigSchema();
 

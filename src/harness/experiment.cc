@@ -126,12 +126,66 @@ std::string ExperimentResult::ToJson() const {
                     &ifirst);
     AppendJsonField(&json, "writes_checked", integrity_writes_checked,
                     &ifirst);
+    if (recovery_active) {
+      // Recovery-only integrity fields stay behind the recovery gate so
+      // chaos-on / recovery-off runs keep their pre-recovery JSON shape.
+      AppendJsonField(&json, "stale_elections", stale_elections, &ifirst);
+      AppendJsonField(&json, "log_writes_checked",
+                      integrity_log_writes_checked, &ifirst);
+    }
     json += ",\"messages\":[";
     for (size_t i = 0; i < integrity_messages.size(); ++i) {
       if (i > 0) json += ",";
       json += "\"";
       json += integrity_messages[i];  // checker messages: no quotes/escapes
       json += "\"";
+    }
+    json += "]}";
+  }
+  if (recovery_active) {
+    // Recovery-only fields live behind this gate so that recovery-off runs
+    // emit byte-identical JSON to a build without the subsystem.
+    json += ",\"recovery\":{";
+    bool rfirst = true;
+    AppendJsonField(&json, "log_entries", log_entries, &rfirst);
+    AppendJsonField(&json, "log_entries_lost", log_entries_lost, &rfirst);
+    AppendJsonField(&json, "log_snapshots", log_snapshots, &rfirst);
+    AppendJsonField(&json, "recoveries_replayed", recoveries_replayed,
+                    &rfirst);
+    AppendJsonField(&json, "catch_ups", catch_ups_completed, &rfirst);
+    AppendJsonField(&json, "catch_up_entries", catch_up_entries, &rfirst);
+    AppendJsonField(&json, "stale_elections", stale_elections, &rfirst);
+    json += ",\"catch_up_events\":[";
+    for (size_t i = 0; i < catch_up_events.size(); ++i) {
+      if (i > 0) json += ",";
+      json += "{";
+      bool cfirst = true;
+      AppendJsonField(&json, "t_ms", catch_up_events[i].t_ms, &cfirst);
+      AppendJsonField(&json, "node",
+                      static_cast<uint64_t>(catch_up_events[i].node), &cfirst);
+      AppendJsonField(&json, "partition",
+                      static_cast<uint64_t>(catch_up_events[i].partition),
+                      &cfirst);
+      AppendJsonField(&json, "duration_ms", catch_up_events[i].duration_ms,
+                      &cfirst);
+      AppendJsonField(&json, "entries", catch_up_events[i].entries, &cfirst);
+      json += "}";
+    }
+    json += "],\"recovery_events\":[";
+    for (size_t i = 0; i < recovery_events.size(); ++i) {
+      if (i > 0) json += ",";
+      json += "{";
+      bool rfirst2 = true;
+      AppendJsonField(&json, "t_ms", recovery_events[i].t_ms, &rfirst2);
+      AppendJsonField(&json, "node",
+                      static_cast<uint64_t>(recovery_events[i].node),
+                      &rfirst2);
+      AppendJsonField(&json, "duration_ms", recovery_events[i].duration_ms,
+                      &rfirst2);
+      AppendJsonField(&json, "partitions",
+                      static_cast<uint64_t>(recovery_events[i].partitions),
+                      &rfirst2);
+      json += "}";
     }
     json += "]}";
   }
@@ -235,6 +289,11 @@ Status ExperimentBuilder::Build(std::unique_ptr<Experiment>* out) const {
   ex->sim_ = std::make_unique<Simulator>(config_.seed, config_.sim);
   ex->cluster_ = std::make_unique<lion::Cluster>(ex->sim_.get(),
                                                  config_.cluster);
+  if (RecoveryActive(config_.recovery)) {
+    // Before any component can append a write, so the log's accounting
+    // covers the whole run.
+    ex->cluster_->EnableRecovery(config_.recovery);
+  }
   ex->metrics_ =
       std::make_unique<MetricsCollector>(config_.cluster.net.stats_window);
 
@@ -375,8 +434,36 @@ ExperimentResult Experiment::Run() {
       result_.integrity_violations = report.violations.size();
       result_.integrity_partitions_checked = report.partitions_checked;
       result_.integrity_writes_checked = report.committed_writes_checked;
+      result_.integrity_log_writes_checked = report.log_writes_checked;
       for (size_t i = 0; i < report.violations.size() && i < 5; ++i) {
         result_.integrity_messages.push_back(report.violations[i]);
+      }
+    }
+  }
+  if (cluster_->recovery_log() != nullptr) {
+    // After the chaos drain (when one ran) so catch-ups completing during
+    // the quiesce land in the records too.
+    const RecoveryLog* log = cluster_->recovery_log();
+    result_.recovery_active = true;
+    result_.log_entries = log->entries_appended();
+    result_.log_entries_lost = log->total_lost_entries();
+    result_.log_snapshots = log->snapshots_taken();
+    result_.catch_up_entries = cluster_->replication().catch_up_entries_shipped();
+    if (chaos_) {
+      const FailureInjector& injector = chaos_->injector();
+      result_.stale_elections = injector.stale_elections();
+      result_.recoveries_replayed = injector.recoveries_replayed();
+      result_.catch_ups_completed = injector.catch_ups().size();
+      for (const FailureInjector::CatchUpRecord& c : injector.catch_ups()) {
+        result_.catch_up_events.push_back(ExperimentResult::CatchUpEvent{
+            static_cast<double>(c.finished) / 1e6, static_cast<int>(c.node),
+            static_cast<int>(c.partition),
+            static_cast<double>(c.finished - c.started) / 1e6, c.entries});
+      }
+      for (const FailureInjector::RecoveryRecord& r : injector.recoveries()) {
+        result_.recovery_events.push_back(ExperimentResult::RecoveryEvent{
+            static_cast<double>(r.finished) / 1e6, static_cast<int>(r.node),
+            static_cast<double>(r.finished - r.started) / 1e6, r.partitions});
       }
     }
   }

@@ -73,6 +73,41 @@ struct ExperimentResult {
   /// First few violation messages (diagnostics; empty on a clean run).
   std::vector<std::string> integrity_messages;
 
+  // --- recovery track (populated — and emitted — only when
+  // recovery.enabled; recovery-off runs produce byte-identical JSON to a
+  // build without the subsystem) ---------------------------------------------
+  bool recovery_active = false;
+  /// Committed writes appended to the durable replication log.
+  uint64_t log_entries = 0;
+  /// Entries discarded by dirty crashes (never reached stable storage).
+  uint64_t log_entries_lost = 0;
+  uint64_t log_snapshots = 0;
+  /// Node recoveries that replayed a durable log (vs rejoining empty).
+  uint64_t recoveries_replayed = 0;
+  uint64_t catch_ups_completed = 0;
+  /// Log entries streamed by catch-up shipments.
+  uint64_t catch_up_entries = 0;
+  /// Last-resort elections of a stale (behind-durable or still-recovering)
+  /// copy; also emitted inside the integrity block.
+  uint64_t stale_elections = 0;
+  /// Ledger writes re-verified against the log's reconstruction.
+  uint64_t integrity_log_writes_checked = 0;
+  struct CatchUpEvent {
+    double t_ms = 0.0;  // completion time
+    int node = 0;
+    int partition = 0;
+    double duration_ms = 0.0;
+    uint64_t entries = 0;
+  };
+  std::vector<CatchUpEvent> catch_up_events;
+  struct RecoveryEvent {
+    double t_ms = 0.0;  // completion time (last catch-up settled)
+    int node = 0;
+    double duration_ms = 0.0;
+    int partitions = 0;
+  };
+  std::vector<RecoveryEvent> recovery_events;
+
   // --- meta-protocol track (populated — and emitted — only when the run's
   // protocol was "meta"; other runs produce byte-identical JSON to a build
   // without the subsystem) ----------------------------------------------------

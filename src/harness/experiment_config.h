@@ -11,6 +11,7 @@
 #include "protocols/meta_config.h"
 #include "replication/chaos_config.h"
 #include "replication/cluster_config.h"
+#include "replication/recovery_config.h"
 #include "sim/sim_config.h"
 #include "workload/tpcc.h"
 #include "workload/ycsb.h"
@@ -46,6 +47,10 @@ struct ExperimentConfig {
   /// Scripted fault schedule + degradation knobs; inactive (and without
   /// any effect on results) while the schedule is empty.
   ChaosConfig chaos;
+  /// Durable log-backed recovery: per-node replication log, crash replay +
+  /// catch-up rejoin. Inactive (and without any effect on results) while
+  /// recovery.enabled is false.
+  RecoveryConfig recovery;
   /// Runtime meta-protocol (protocol = "meta"): child candidates, flip
   /// thresholds, hysteresis and cost gating. Ignored by every other
   /// protocol.

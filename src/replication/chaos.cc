@@ -104,8 +104,12 @@ Status ChaosEvent::Parse(const std::string& text, ChaosEvent* out) {
                                          " takes " + std::to_string(n) +
                                          " argument(s)");
   };
-  if (kind == "crash" || kind == "recover") {
-    ev.kind = kind == "crash" ? ChaosEventKind::kCrash : ChaosEventKind::kRecover;
+  if (kind == "crash" || kind == "crash_dirty" || kind == "recover" ||
+      kind == "truncate") {
+    ev.kind = kind == "crash"         ? ChaosEventKind::kCrash
+              : kind == "crash_dirty" ? ChaosEventKind::kCrashDirty
+              : kind == "recover"     ? ChaosEventKind::kRecover
+                                      : ChaosEventKind::kTruncate;
     s = want_args(1);
     if (!s.ok()) return s;
     int n = 0;
@@ -146,7 +150,8 @@ Status ChaosEvent::Parse(const std::string& text, ChaosEvent* out) {
   } else {
     return Status::InvalidArgument(
         "\"" + text + "\": unknown event kind \"" + kind +
-        "\" (one of: crash, recover, partition, heal, lag_storm, migrate)");
+        "\" (one of: crash, crash_dirty, recover, truncate, partition, heal, "
+        "lag_storm, migrate)");
   }
   *out = ev;
   return Status::OK();
@@ -156,8 +161,12 @@ std::string ChaosEvent::Describe() const {
   switch (kind) {
     case ChaosEventKind::kCrash:
       return "crash node=" + std::to_string(node);
+    case ChaosEventKind::kCrashDirty:
+      return "crash_dirty node=" + std::to_string(node);
     case ChaosEventKind::kRecover:
       return "recover node=" + std::to_string(node);
+    case ChaosEventKind::kTruncate:
+      return "truncate node=" + std::to_string(node);
     case ChaosEventKind::kPartition: {
       std::string nodes;
       for (size_t i = 0; i < island.size(); ++i) {
@@ -243,8 +252,16 @@ void ChaosController::Fire(const ChaosEvent& ev) {
     case ChaosEventKind::kCrash:
       injector_.FailNode(ev.node);
       break;
+    case ChaosEventKind::kCrashDirty:
+      injector_.FailNodeDirty(ev.node);
+      break;
     case ChaosEventKind::kRecover:
       injector_.RecoverNode(ev.node);
+      break;
+    case ChaosEventKind::kTruncate:
+      if (cluster_->recovery_log() != nullptr) {
+        cluster_->recovery_log()->SnapshotNode(ev.node);
+      }
       break;
     case ChaosEventKind::kPartition:
       cluster_->network().StartPartition(ev.island);

@@ -16,8 +16,17 @@ namespace lion {
 struct ChaosConfig {
   /// Timed fault events, one per entry, each "<time> <kind> [args]":
   ///
-  ///   "500ms crash 1"          fail node 1 (failover elections start)
-  ///   "900ms recover 1"        bring node 1 back (empty)
+  ///   "500ms crash 1"          fail node 1 (failover elections start); with
+  ///                            recovery.enabled the crash is clean — the
+  ///                            node's durable log fully survives
+  ///   "520ms crash_dirty 1"    fail node 1 discarding the unsynced log
+  ///                            suffix (entries younger than
+  ///                            recovery.durability_lag_us); same as crash
+  ///                            without a recovery log
+  ///   "900ms recover 1"        bring node 1 back (replay + catch-up with
+  ///                            recovery.enabled, empty otherwise)
+  ///   "950ms truncate 1"       force a snapshot+truncate of node 1's
+  ///                            recovery log (no-op without one)
   ///   "1s partition 2,3"       isolate nodes 2,3 from the rest; messages
   ///                            across the cut are parked until heal
   ///   "1.4s heal"              reconnect and retransmit parked messages
@@ -51,17 +60,19 @@ inline bool ChaosActive(const ChaosConfig& cfg) {
 /// One parsed schedule entry.
 enum class ChaosEventKind {
   kCrash,
+  kCrashDirty,
   kRecover,
   kPartition,
   kHeal,
   kLagStorm,
   kMigrate,
+  kTruncate,
 };
 
 struct ChaosEvent {
   SimTime at = 0;
   ChaosEventKind kind = ChaosEventKind::kHeal;
-  NodeId node = kInvalidNode;                  // crash / recover / migrate
+  NodeId node = kInvalidNode;  // crash / crash_dirty / recover / truncate / migrate
   PartitionId partition = kInvalidPartition;   // migrate
   std::vector<NodeId> island;                  // partition
   SimTime duration = 0;                        // lag_storm

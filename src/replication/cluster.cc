@@ -30,7 +30,17 @@ Cluster::Cluster(Simulator* sim, const ClusterConfig& config)
       sim_, &network_, &router_, raw_stores, remaster_.get(), config_);
 }
 
-void Cluster::Start() { replication_->Start(); }
+void Cluster::Start() {
+  replication_->Start();
+  if (recovery_log_) recovery_log_->Start();
+}
+
+void Cluster::EnableRecovery(const RecoveryConfig& config) {
+  if (recovery_log_) return;
+  recovery_log_ = std::make_unique<RecoveryLog>(sim_, config, num_nodes(),
+                                                num_partitions());
+  replication_->SetRecoveryLog(recovery_log_.get());
+}
 
 NodeId Cluster::LeastLoadedNode() const {
   NodeId best = 0;

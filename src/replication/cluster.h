@@ -7,6 +7,7 @@
 #include "common/types.h"
 #include "replication/cluster_config.h"
 #include "replication/migration_manager.h"
+#include "replication/recovery_log.h"
 #include "replication/remaster_manager.h"
 #include "replication/replication_manager.h"
 #include "replication/router_table.h"
@@ -42,6 +43,15 @@ class Cluster {
   RemasterManager& remaster() { return *remaster_; }
   MigrationManager& migration() { return *migration_; }
 
+  /// Attaches the durable recovery log (recovery.enabled). Call before any
+  /// writes are appended so the log's accounting covers the whole run;
+  /// idempotent. Crashed nodes then recover by replay + catch-up instead of
+  /// rejoining empty.
+  void EnableRecovery(const RecoveryConfig& config);
+  /// Null unless EnableRecovery was called.
+  RecoveryLog* recovery_log() { return recovery_log_.get(); }
+  const RecoveryLog* recovery_log() const { return recovery_log_.get(); }
+
   /// Starts background machinery (epoch ticker).
   void Start();
 
@@ -61,6 +71,7 @@ class Cluster {
   std::unique_ptr<ReplicationManager> replication_;
   std::unique_ptr<RemasterManager> remaster_;
   std::unique_ptr<MigrationManager> migration_;
+  std::unique_ptr<RecoveryLog> recovery_log_;
 };
 
 }  // namespace lion

@@ -20,6 +20,7 @@ IntegrityReport CheckClusterIntegrity(Cluster* cluster,
                                       const CommitLedger* ledger) {
   IntegrityReport report;
   const RouterTable& table = cluster->router();
+  const RecoveryLog* log = cluster->recovery_log();
 
   auto is_down = [&](NodeId n) {
     return injector != nullptr && injector->IsDown(n);
@@ -36,6 +37,7 @@ IntegrityReport CheckClusterIntegrity(Cluster* cluster,
     report.partitions_checked++;
     const ReplicaGroup& group = table.group(pid);
     const PartitionStore* store = cluster->store(pid);
+    bool marked_unavailable = unavailable[static_cast<size_t>(pid)];
 
     // Exactly one live primary: a valid primary node that is not doubled as
     // a secondary, and no node appearing twice in the secondary list.
@@ -71,12 +73,22 @@ IntegrityReport CheckClusterIntegrity(Cluster* cluster,
             " applied_lsn " + std::to_string(sec.applied_lsn) +
             " ahead of primary_lsn " + std::to_string(group.primary_lsn()));
       }
+      // Replay invariant: after the drain no replica may be stuck in
+      // recovering state unless its node crashed again or its catch-up is
+      // legitimately parked on an unavailable partition.
+      if (log != nullptr && sec.recovering && !sec.delete_flag &&
+          !is_down(sec.node) && !marked_unavailable) {
+        report.violations.push_back(
+            PidLabel(pid) + ": replica on node " + std::to_string(sec.node) +
+            " still recovering after quiesce (applied_lsn " +
+            std::to_string(sec.applied_lsn) + " of " +
+            std::to_string(group.primary_lsn()) + ")");
+      }
     }
 
     // A down primary after quiesce means a failover never completed; that
     // is only legal for partitions with no surviving copy, which must be
     // tracked as unavailable and stay write-blocked.
-    bool marked_unavailable = unavailable[static_cast<size_t>(pid)];
     if (is_down(primary) && !marked_unavailable) {
       report.violations.push_back(PidLabel(pid) + ": primary on down node " +
                                   std::to_string(primary) +
@@ -115,6 +127,50 @@ IntegrityReport CheckClusterIntegrity(Cluster* cluster,
               " below committed write count " + std::to_string(kv.second));
         }
       }
+    }
+
+    // Recovery-log accounting. Entries are appended 1:1 with primary-LSN
+    // advances, so per partition the durable prefix (snapshots + live
+    // suffix) plus everything lost to dirty crashes must add up exactly to
+    // the group's LSN — snapshot+truncate and crash truncation may move
+    // entries between buckets but never invent or leak them.
+    if (log != nullptr) {
+      uint64_t accounted = log->DurableEntries(pid) + log->LostEntries(pid);
+      if (accounted != group.primary_lsn()) {
+        report.violations.push_back(
+            PidLabel(pid) + ": recovery log accounts for " +
+            std::to_string(accounted) + " entries (durable " +
+            std::to_string(log->DurableEntries(pid)) + " + lost " +
+            std::to_string(log->LostEntries(pid)) + ") but primary_lsn is " +
+            std::to_string(group.primary_lsn()));
+      }
+      // Snapshot + suffix (+ lost, tracked separately) must reconstruct the
+      // ledger's committed effects: the log never under-counts a committed
+      // write (retried aborts may over-count, so >= is the invariant).
+      if (ledger != nullptr) {
+        std::unordered_map<Key, uint64_t> reconstructed =
+            log->ReconstructWrites(pid);
+        for (const auto& kv : ledger->writes(pid)) {
+          report.log_writes_checked++;
+          auto it = reconstructed.find(kv.first);
+          uint64_t have = it == reconstructed.end() ? 0 : it->second;
+          if (have < kv.second) {
+            report.violations.push_back(
+                PidLabel(pid) + ": recovery log reconstructs " +
+                std::to_string(have) + " writes to key " +
+                std::to_string(kv.first) + ", ledger committed " +
+                std::to_string(kv.second));
+          }
+        }
+      }
+    }
+  }
+
+  // Breaches the recovery state machine itself detected while running (e.g.
+  // a catch-up overrunning its shipped range).
+  if (injector != nullptr) {
+    for (const std::string& v : injector->recovery_violations()) {
+      report.violations.push_back(v);
     }
   }
   return report;

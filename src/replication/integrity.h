@@ -54,6 +54,9 @@ struct IntegrityReport {
   std::vector<std::string> violations;
   uint64_t partitions_checked = 0;
   uint64_t committed_writes_checked = 0;
+  /// Ledger writes re-verified against the recovery log's reconstruction
+  /// (snapshot + suffix + lost); 0 when no recovery log is attached.
+  uint64_t log_writes_checked = 0;
   bool ok() const { return violations.empty(); }
 };
 

@@ -105,7 +105,8 @@ void MigrationManager::MoveMastershipLight(PartitionId pid, NodeId target,
     done(true);
     return;
   }
-  if (group->reconfig_in_progress()) {
+  if (group->reconfig_in_progress() || group->IsRecovering(target)) {
+    // Recovering targets must not take mastership before catch-up completes.
     done(false);
     return;
   }
@@ -126,8 +127,9 @@ void MigrationManager::MoveMastershipLight(PartitionId pid, NodeId target,
         (*done_shared)(false);
         return;
       }
-      if (!table_->IsNodeUp(target)) {
-        // Target died mid-transfer: abort and unblock at the old primary.
+      if (!table_->IsNodeUp(target) || g->IsRecovering(target)) {
+        // Target died mid-transfer (or came back still recovering): abort
+        // and unblock at the old primary.
         g->EndReconfig(token);
         stores_[pid]->set_write_blocked(false);
         remaster_->ReleaseWaiters(pid);
@@ -157,6 +159,12 @@ void MigrationManager::MovePrimary(PartitionId pid, NodeId target,
     done(true);
     return;
   }
+  if (group->IsRecovering(target)) {
+    // The target holds a replayed-but-not-caught-up replica; promoting it
+    // would serve stale state. The caller retries after catch-up settles.
+    done(false);
+    return;
+  }
   if (group->HasSecondary(target)) {
     remaster_->Remaster(pid, target, std::move(done));
     return;
@@ -184,8 +192,9 @@ void MigrationManager::MovePrimary(PartitionId pid, NodeId target,
         (*done_shared)(false);
         return;
       }
-      if (!table_->IsNodeUp(target)) {
-        // Target died mid-copy: abort and unblock at the old primary.
+      if (!table_->IsNodeUp(target) || g->IsRecovering(target)) {
+        // Target died mid-copy (or came back still recovering): abort and
+        // unblock at the old primary.
         g->EndReconfig(token);
         stores_[pid]->set_write_blocked(false);
         remaster_->ReleaseWaiters(pid);

@@ -1,0 +1,36 @@
+// Durable log-backed recovery knobs (recovery.* schema fields).
+#pragma once
+
+#include "common/types.h"
+
+namespace lion {
+
+/// Configuration of the durable recovery log. Disabled by default: no log
+/// is attached, crashed nodes rejoin empty exactly as before the subsystem
+/// existed, and fixed-seed runs stay byte-identical to a build without it.
+struct RecoveryConfig {
+  /// Master switch: attach a per-node durable replication log, replay it on
+  /// RecoverNode, and stream the missing suffix from live primaries before
+  /// the node becomes electable again.
+  bool enabled = false;
+
+  /// Fsync horizon: on a dirty crash ("crash_dirty" schedule events), log
+  /// entries younger than this lag are lost — they never reached stable
+  /// storage. A clean "crash" keeps the whole log (the flush won the race).
+  /// 0 means even dirty crashes lose nothing.
+  SimTime durability_lag = 0;
+
+  /// Interval of the periodic snapshot+truncate pass folding each node's
+  /// durable log prefix into a snapshot (bounding replay work). 0 disables
+  /// periodic snapshots; "truncate N" schedule events still force one.
+  SimTime snapshot_interval = 0;
+
+  /// Log entries per catch-up shipment message. Each batch is priced
+  /// through the network's bandwidth/latency tables, so WAN catch-up pays
+  /// the real transfer cost per batch.
+  int catch_up_batch = 256;
+};
+
+inline bool RecoveryActive(const RecoveryConfig& cfg) { return cfg.enabled; }
+
+}  // namespace lion

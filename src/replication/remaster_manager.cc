@@ -39,7 +39,10 @@ void RemasterManager::Remaster(PartitionId pid, NodeId target,
     return;
   }
   if (group->reconfig_in_progress() || !group->HasSecondary(target) ||
-      !table_->IsNodeUp(target)) {
+      !table_->IsNodeUp(target) || group->IsRecovering(target)) {
+    // A recovering target is rejected outright: its replica is still behind
+    // the durable log it replayed and must not take mastership until the
+    // catch-up stream completes.
     remasters_failed_++;
     done(false);
     return;
@@ -73,9 +76,11 @@ void RemasterManager::Remaster(PartitionId pid, NodeId target,
                        return;
                      }
                      if (!table_->IsNodeUp(target) ||
-                         !g->HasSecondary(target)) {
-                       // The candidate died during the sync: abort cleanly
-                       // and unblock (the old primary still serves).
+                         !g->HasSecondary(target) ||
+                         g->IsRecovering(target)) {
+                       // The candidate died during the sync — or crashed and
+                       // came back mid-recovery: abort cleanly and unblock
+                       // (the old primary still serves).
                        remasters_failed_++;
                        g->EndReconfig(token);
                        stores_[pid]->set_write_blocked(false);

@@ -17,6 +17,11 @@ struct ReplicaInfo {
   /// Set when the replica has been chosen for removal (max-replica limit);
   /// replication stops shipping to flagged replicas (Sec. IV-B2).
   bool delete_flag = false;
+  /// Set while a crash-recovered replica is replaying/catching up from its
+  /// durable log position: epoch shipping skips it (the dedicated catch-up
+  /// stream owns its applied LSN) and elections rank it below any caught-up
+  /// copy. Cleared when catch-up reaches the primary's LSN.
+  bool recovering = false;
 };
 
 /// Placement and log state of all replicas of one partition.
@@ -52,6 +57,23 @@ class ReplicaGroup {
     for (const auto& s : secondaries_)
       if (!s.delete_flag) n++;
     return n;
+  }
+
+  /// Applied LSN of the secondary on `node`; 0 if absent.
+  Lsn AppliedLsnOf(NodeId node) const {
+    const ReplicaInfo* info = FindSecondary(node);
+    return info == nullptr ? 0 : info->applied_lsn;
+  }
+
+  /// True if `node` holds a secondary still replaying/catching up.
+  bool IsRecovering(NodeId node) const {
+    const ReplicaInfo* info = FindSecondary(node);
+    return info != nullptr && info->recovering;
+  }
+
+  /// Marks/unmarks the secondary on `node` as recovering.
+  void SetRecovering(NodeId node, bool v) {
+    if (ReplicaInfo* info = MutableSecondary(node)) info->recovering = v;
   }
 
   /// Log lag of the secondary on `node`; 0 if it is the primary or absent.

@@ -3,6 +3,8 @@
 #include <utility>
 #include <memory>
 
+#include "replication/recovery_log.h"
+
 namespace lion {
 
 namespace {
@@ -36,7 +38,12 @@ void ReplicationManager::Start() {
 
 void ReplicationManager::Append(PartitionId pid, Key key, Value value) {
   pending_[pid].push_back(LogEntry{key, value});
-  table_->mutable_group(pid)->Advance(1);
+  ReplicaGroup* group = table_->mutable_group(pid);
+  group->Advance(1);
+  if (recovery_log_ != nullptr) {
+    recovery_log_->AppendCommit(group->primary(), pid, key,
+                                group->primary_lsn());
+  }
 }
 
 void ReplicationManager::OnEpochEnd(std::function<void()> fn) {
@@ -76,6 +83,9 @@ void ReplicationManager::ShipPartition(PartitionId pid) {
 
   for (const ReplicaInfo& sec : group->secondaries()) {
     if (sec.delete_flag) continue;  // flagged replicas stop receiving logs
+    // Recovering replicas are owned by the catch-up stream: acking them to
+    // the epoch head here would fake their durable position.
+    if (sec.recovering) continue;
     NodeId dst = sec.node;
     uint64_t bytes =
         MessageSizes::kHeader + entries.size() * MessageSizes::kLogEntry;
@@ -84,14 +94,42 @@ void ReplicationManager::ShipPartition(PartitionId pid) {
       network_->Send(primary, dst, bytes, [this, pid, dst, target_lsn, payload]() {
         auto& copy = copies_[CopyKey(pid, dst)];
         for (const LogEntry& e : *payload) copy[e.key] = e.value;
-        table_->mutable_group(pid)->Ack(dst, target_lsn);
+        Ack(pid, dst, target_lsn);
       });
     } else {
       network_->Send(primary, dst, bytes, [this, pid, dst, target_lsn]() {
-        table_->mutable_group(pid)->Ack(dst, target_lsn);
+        Ack(pid, dst, target_lsn);
       });
     }
   }
+}
+
+void ReplicationManager::Ack(PartitionId pid, NodeId dst, Lsn lsn) {
+  ReplicaGroup* group = table_->mutable_group(pid);
+  group->Ack(dst, lsn);
+  // Only a delivery that actually landed on a live secondary is a durable
+  // mark; a batch arriving after the replica was dropped must not inflate
+  // the node's durable position for a later crash image.
+  if (recovery_log_ != nullptr && group->HasSecondary(dst)) {
+    recovery_log_->NoteApplied(dst, pid, lsn);
+  }
+}
+
+void ReplicationManager::ShipRange(PartitionId pid, NodeId dst, Lsn from,
+                                   Lsn upto, std::function<void()> on_delivered) {
+  ReplicaGroup* group = table_->mutable_group(pid);
+  NodeId primary = group->primary();
+  uint64_t bytes = MessageSizes::kHeader +
+                   static_cast<uint64_t>(upto - from) * MessageSizes::kLogEntry;
+  catch_up_entries_shipped_ += upto - from;
+  network_->Send(primary, dst, bytes,
+                 [this, pid, dst, upto, done = std::move(on_delivered)]() {
+                   // The replica may have been dropped or promoted while the
+                   // batch was in flight; Ack then no-ops and the injector's
+                   // next step re-validates.
+                   Ack(pid, dst, upto);
+                   done();
+                 });
 }
 
 const std::unordered_map<Key, Value>* ReplicationManager::MaterializedCopy(

@@ -16,6 +16,8 @@
 
 namespace lion {
 
+class RecoveryLog;
+
 /// Ships committed writes from each primary to its secondaries once per
 /// epoch (10 ms default), mirroring the paper's epoch-based group commit:
 /// commits inside an epoch become visible when the epoch ends and the
@@ -46,6 +48,25 @@ class ReplicationManager {
   /// batch-size limit is hit before the timer).
   void CloseEpochNow();
 
+  // --- durable recovery log (recovery.*) -----------------------------------
+  /// Attaches the per-node durable log (null detaches): committed appends
+  /// and shipping acks are then recorded durably so crashed nodes can
+  /// replay. `log` must outlive this manager.
+  void SetRecoveryLog(RecoveryLog* log) { recovery_log_ = log; }
+
+  /// Ships the log range (from, upto] of `pid` from its current primary to
+  /// the recovering replica on `dst`, priced through the topology
+  /// bandwidth/latency tables like epoch shipping. On delivery the replica
+  /// is acked to `upto` (and the position recorded durably), then
+  /// `on_delivered` runs. One catch-up batch per call; the failure injector
+  /// chains batches and re-validates its generation token between them.
+  void ShipRange(PartitionId pid, NodeId dst, Lsn from, Lsn upto,
+                 std::function<void()> on_delivered);
+
+  uint64_t catch_up_entries_shipped() const {
+    return catch_up_entries_shipped_;
+  }
+
   // --- replica-lag storms (chaos schedules) --------------------------------
   /// Pauses log shipping: epochs keep closing (group-commit visibility is
   /// unaffected) but pending entries stay buffered and secondaries stop
@@ -71,6 +92,9 @@ class ReplicationManager {
   };
 
   void ShipPartition(PartitionId pid);
+  /// Advances the replica's applied LSN and records it durably when a
+  /// recovery log is attached.
+  void Ack(PartitionId pid, NodeId dst, Lsn lsn);
 
   Simulator* sim_;
   Network* network_;
@@ -82,6 +106,8 @@ class ReplicationManager {
   SimTime epoch_started_at_;
   PeriodicTimer epoch_timer_;
   uint64_t total_entries_shipped_;
+  RecoveryLog* recovery_log_ = nullptr;
+  uint64_t catch_up_entries_shipped_ = 0;
   int shipping_paused_ = 0;
   std::vector<std::vector<LogEntry>> pending_;          // per partition
   std::vector<std::function<void()>> epoch_waiters_;

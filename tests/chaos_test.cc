@@ -50,9 +50,19 @@ TEST(ChaosEventTest, ParsesEveryKind) {
   EXPECT_EQ(ev.at, 400 * kMillisecond);
   EXPECT_EQ(ev.node, 1);
 
+  ASSERT_TRUE(ChaosEvent::Parse("450ms crash_dirty 2", &ev).ok());
+  EXPECT_EQ(ev.kind, ChaosEventKind::kCrashDirty);
+  EXPECT_EQ(ev.at, 450 * kMillisecond);
+  EXPECT_EQ(ev.node, 2);
+
   ASSERT_TRUE(ChaosEvent::Parse("1.5s recover 0", &ev).ok());
   EXPECT_EQ(ev.kind, ChaosEventKind::kRecover);
   EXPECT_EQ(ev.at, 1500 * kMillisecond);
+
+  ASSERT_TRUE(ChaosEvent::Parse("2s truncate 1", &ev).ok());
+  EXPECT_EQ(ev.kind, ChaosEventKind::kTruncate);
+  EXPECT_EQ(ev.node, 1);
+  EXPECT_EQ(ev.Describe(), "truncate node=1");
 
   ASSERT_TRUE(ChaosEvent::Parse("250us partition 1,2", &ev).ok());
   EXPECT_EQ(ev.kind, ChaosEventKind::kPartition);
@@ -83,6 +93,11 @@ TEST(ChaosEventTest, RejectsMalformedEntries) {
   EXPECT_FALSE(ChaosEvent::Parse("100ms crash 1 2", &ev).ok());
   EXPECT_FALSE(ChaosEvent::Parse("100ms crash x", &ev).ok());
   EXPECT_FALSE(ChaosEvent::Parse("100ms explode 1", &ev).ok());
+  EXPECT_FALSE(ChaosEvent::Parse("100ms crash_dirty", &ev).ok());
+  EXPECT_FALSE(ChaosEvent::Parse("100ms crash_dirty 1 2", &ev).ok());
+  EXPECT_FALSE(ChaosEvent::Parse("100ms crash_dirty x", &ev).ok());
+  EXPECT_FALSE(ChaosEvent::Parse("100ms truncate", &ev).ok());
+  EXPECT_FALSE(ChaosEvent::Parse("100ms truncate 0 1", &ev).ok());
   EXPECT_FALSE(ChaosEvent::Parse("100ms heal 1", &ev).ok());
   EXPECT_FALSE(ChaosEvent::Parse("100ms lag_storm 0ms", &ev).ok());
   EXPECT_FALSE(ChaosEvent::Parse("100ms partition", &ev).ok());
@@ -98,6 +113,18 @@ TEST(ChaosControllerTest, ValidateChecksIdRangesAndKnobs) {
   ChaosConfig bad_node;
   bad_node.schedule = {"100ms crash 3"};
   EXPECT_FALSE(ChaosController::Validate(bad_node, cluster).ok());
+
+  ChaosConfig ok_recovery;
+  ok_recovery.schedule = {"100ms crash_dirty 1", "200ms truncate 0"};
+  EXPECT_TRUE(ChaosController::Validate(ok_recovery, cluster).ok());
+
+  ChaosConfig bad_dirty_node;
+  bad_dirty_node.schedule = {"100ms crash_dirty 3"};
+  EXPECT_FALSE(ChaosController::Validate(bad_dirty_node, cluster).ok());
+
+  ChaosConfig bad_truncate_node;
+  bad_truncate_node.schedule = {"100ms truncate 7"};
+  EXPECT_FALSE(ChaosController::Validate(bad_truncate_node, cluster).ok());
 
   ChaosConfig bad_island;
   bad_island.schedule = {"100ms partition 0,9"};
